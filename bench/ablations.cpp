@@ -1,0 +1,171 @@
+// Ablation studies for the design choices DESIGN.md calls out:
+//   * AMG V-cycle preconditioning vs plain Jacobi-CG (iterations & cost)
+//   * FEM partial vs full assembly: storage and apply cost vs order
+//   * MD cell-list vs O(N^2) neighbor construction (real wall time)
+//   * stencil kernel fusion (launch-overhead amortization vs grid size)
+//   * scheduler quota-reserve size sweep
+#include <chrono>
+#include <cstdio>
+
+#include "amg/amg.hpp"
+#include "core/table.hpp"
+#include "fem/fem.hpp"
+#include "md/md.hpp"
+#include "sched/scheduler.hpp"
+#include "stencil/wave.hpp"
+
+using namespace coe;
+
+namespace {
+
+void ablate_amg() {
+  std::printf("--- AMG-preconditioned CG vs Jacobi-CG (2D Poisson) ---\n");
+  core::Table t({"grid", "Jacobi-CG iters", "AMG-CG iters",
+                 "AMG op complexity", "modeled V100 gain"});
+  for (std::size_t n : {32, 64, 96}) {
+    auto a = la::poisson2d(n, n);
+    la::CsrOperator op(a);
+    std::vector<double> b(a.rows(), 1.0);
+
+    auto c1 = core::make_device();
+    std::vector<double> x1(a.rows(), 0.0);
+    la::JacobiPreconditioner jac(a);
+    auto r1 = la::cg(c1, op, jac, b, x1, {4000, 1e-8, 0.0});
+
+    auto c2 = core::make_device();
+    std::vector<double> x2(a.rows(), 0.0);
+    amg::BoomerAmg prec(a, {});
+    auto r2 = la::cg(c2, op, prec, b, x2, {4000, 1e-8, 0.0});
+
+    t.row({std::to_string(n) + "^2", std::to_string(r1.iterations),
+           std::to_string(r2.iterations),
+           core::Table::num(prec.operator_complexity(), 2),
+           core::Table::num(c1.simulated_time() / c2.simulated_time(), 2) +
+               "x"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void ablate_fem_assembly() {
+  std::printf("--- FEM partial vs full assembly across order (fixed dofs)"
+              " ---\n");
+  core::Table t({"p", "dofs", "PA storage (KB)", "FA storage (KB)",
+                 "PA host ms/apply", "FA host ms/apply"});
+  for (std::size_t p : {1, 2, 4, 8}) {
+    const std::size_t nx = 48 / p;
+    fem::TensorMesh2D mesh(nx, nx, p);
+    fem::EllipticOperator pa(mesh, fem::Assembly::Partial, 1.0, 1.0);
+    fem::EllipticOperator fa(mesh, fem::Assembly::Full, 1.0, 1.0);
+    std::vector<double> x(mesh.num_dofs(), 1.0), y(mesh.num_dofs());
+    auto ctx = core::make_seq();
+    fa.apply(ctx, x, y);  // trigger assembly outside the timer
+    auto time_apply = [&](const fem::EllipticOperator& op) {
+      const int reps = 200;
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < reps; ++r) op.apply(ctx, x, y);
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(t1 - t0).count() / reps * 1e3;
+    };
+    t.row({std::to_string(p), std::to_string(mesh.num_dofs()),
+           core::Table::num(pa.storage_bytes() / 1e3, 1),
+           core::Table::num(fa.storage_bytes() / 1e3, 1),
+           core::Table::num(time_apply(pa), 3),
+           core::Table::num(time_apply(fa), 3)});
+  }
+  t.print();
+  std::printf("-> CSR storage explodes with order; matrix-free stays"
+              " flat (the MFEM team's motivation for the rewrite).\n\n");
+}
+
+void ablate_md_neighbors() {
+  std::printf("--- MD neighbor construction: cell list vs O(N^2) ---\n");
+  core::Table t({"N", "cell-list ms", "O(N^2) ms", "gain"});
+  for (std::size_t side : {8, 12, 16}) {
+    core::Rng rng(3);
+    md::Particles p;
+    md::Box box;
+    md::init_lattice(p, box, side, 0.8, 1.0, rng);
+    auto ctx = core::make_seq();
+    md::NeighborList a(2.5, 0.3), b(2.5, 0.3);
+    auto time_it = [&](auto&& fn) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int r = 0; r < 5; ++r) fn();
+      const auto t1 = std::chrono::steady_clock::now();
+      return std::chrono::duration<double>(t1 - t0).count() / 5 * 1e3;
+    };
+    const double tc = time_it([&] { a.build(ctx, p, box); });
+    const double tn = time_it([&] { b.build_n2(ctx, p, box); });
+    t.row({std::to_string(p.n), core::Table::num(tc, 2),
+           core::Table::num(tn, 2), core::Table::num(tn / tc, 1) + "x"});
+  }
+  t.print();
+  std::printf("\n");
+}
+
+void ablate_stencil_fusion() {
+  std::printf("--- Stencil kernel fusion vs grid size (modeled V100) ---\n");
+  core::Table t({"grid", "unfused ms/step", "fused ms/step", "gain"});
+  for (std::size_t n : {16, 32, 64, 128}) {
+    auto run = [&](bool fused) {
+      auto ctx = core::make_device();
+      stencil::WaveOptions opts;
+      opts.fused = fused;
+      stencil::WaveSolver s(ctx, n, n, n, 1.0, 1.0, opts);
+      const double dt = s.stable_dt();
+      const double t0 = ctx.simulated_time();
+      for (int k = 0; k < 5; ++k) s.step(dt);
+      return (ctx.simulated_time() - t0) / 5 * 1e3;
+    };
+    const double tu = run(false), tf = run(true);
+    t.row({std::to_string(n) + "^3", core::Table::num(tu, 4),
+           core::Table::num(tf, 4), core::Table::num(tu / tf, 2) + "x"});
+  }
+  t.print();
+  std::printf("-> fusion matters most on small per-GPU blocks (launch"
+              " overhead), the strong-scaling regime SW4 runs in.\n\n");
+}
+
+void ablate_quota_size() {
+  std::printf("--- SJF+Quota reserve-size sweep (16 GPUs, overloaded short"
+              " stream + 8 long jobs) ---\n");
+  auto make_jobs = [] {
+    auto jobs = sched::make_workload({4000, 60.0, 1.5, 0.0,
+                                      1.15 * 16.0 / 60.0, 13});
+    for (int i = 0; i < 8; ++i) {
+      jobs.push_back(sched::Job{90000u + std::uint64_t(i), 100.0, 1800.0,
+                                1800.0, 1});
+    }
+    return jobs;
+  };
+  core::Table t({"reserve GPUs", "max long wait (s)", "mean wait (s)",
+                 "utilization"});
+  for (int reserve : {1, 2, 4, 8}) {
+    sched::Simulator sim({16, sched::Policy::SjfQuota, 900.0, reserve});
+    auto m = sim.run(make_jobs());
+    double longest = 0.0;
+    for (const auto& o : sim.outcomes()) {
+      if (o.job.duration >= 900.0) {
+        longest = std::max(longest, o.start_time - o.job.submit_time);
+      }
+    }
+    t.row({std::to_string(reserve), core::Table::num(longest, 0),
+           core::Table::num(m.mean_wait, 1),
+           core::Table::num(100.0 * m.utilization, 1) + "%"});
+  }
+  t.print();
+  std::printf("-> bigger reserves protect long jobs at growing cost to the"
+              " short-job mean wait.\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablation studies ===\n\n");
+  ablate_amg();
+  ablate_fem_assembly();
+  ablate_md_neighbors();
+  ablate_stencil_fusion();
+  ablate_quota_size();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 3 reproduction: "Performance of LBANN on up to 2048 GPUs" --
+// strong scaling of the spatial-parallel (GPUs-per-sample) partitioning
+// and weak scaling across replicas for the semantic-segmentation model
+// that does not fit in one V100's memory.
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "ml/lbann.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("=== Figure 3: LBANN strong/weak scaling to 2048 GPUs ===\n\n");
+  ml::LbannModel m;
+  const auto v100 = hsim::machines::v100();
+
+  std::printf("Model: %.0f GFLOP/sample, %.1f GB weights + %.1f GB"
+              " activations (> 16 GB V100 => at least %zu GPUs/sample).\n\n",
+              m.flops_per_sample / 1e9, m.weight_bytes / 1e9,
+              m.activation_bytes / 1e9, m.min_gpus_per_sample);
+
+  // Strong scaling of one sample's step (the dotted lines of Fig. 3).
+  core::Table strong({"GPUs/sample", "step time (s)", "speedup vs 2",
+                      "paper"});
+  const char* paper_notes[5] = {"1.0 (baseline)", "~2.0 (near-perfect)",
+                                "2.8", "3.4", "-"};
+  int pi = 0;
+  for (std::size_t p : {2, 4, 8, 16, 32}) {
+    strong.row({std::to_string(p),
+                core::Table::sci(ml::sample_step_time(m, v100, p), 3),
+                core::Table::num(ml::sample_speedup(m, v100, p), 2),
+                paper_notes[pi++]});
+  }
+  strong.print();
+
+  // Weak scaling: fixed GPUs/sample, replicas grow with the machine (the
+  // solid lines of Fig. 3: "good weak scaling trends").
+  std::printf("\nWeak scaling (samples/step = GPUs / GPUs-per-sample):\n");
+  core::Table weak({"total GPUs", "gpus/sample=2", "gpus/sample=4",
+                    "gpus/sample=8", "gpus/sample=16"});
+  for (std::size_t g : {32, 64, 128, 256, 512, 1024, 2048}) {
+    std::vector<std::string> row{std::to_string(g)};
+    for (std::size_t p : {2, 4, 8, 16}) {
+      const auto net = hsim::clusters::sierra(static_cast<int>(g / 4));
+      row.push_back(core::Table::sci(
+          ml::train_step_time(m, v100, net, g, p), 3));
+    }
+    weak.row(row);
+  }
+  weak.print();
+  std::printf("\nShape checks: columns nearly flat as GPUs grow (weak"
+              " scaling); moving right along a row shows the strong-scaling"
+              " gain of deeper sample partitioning.\n");
+  return 0;
+}

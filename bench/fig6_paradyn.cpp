@@ -1,0 +1,58 @@
+// Figure 6 reproduction: "ParaDyn execution results: time and load/store"
+// -- the element-update kernel as many small loops vs the SLNSP-fused
+// form, with and without dead-store elimination. Loads/stores are counted
+// exactly; times are both measured on the host (real single-core wall
+// time) and modeled on the V100.
+#include <chrono>
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "dyn/paradyn.hpp"
+
+using namespace coe;
+
+namespace {
+
+double wall_seconds(dyn::LoopVariant v, std::size_t n, std::size_t steps) {
+  dyn::ElementArrays a(n);
+  auto ctx = core::make_seq();
+  const auto t0 = std::chrono::steady_clock::now();
+  dyn::run_update(ctx, a, steps, v);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: ParaDyn SLNSP + dead-store elimination ===\n\n");
+  const std::size_t n = 1 << 20;  // 1M elements
+  const std::size_t steps = 20;
+
+  core::Table t({"Variant", "kernels/step", "loads/elem", "stores/elem",
+                 "V100 time (ms)", "host time (ms)", "speedup vs small"});
+  double base_model = 0.0, base_host = 0.0;
+  for (auto v : {dyn::LoopVariant::SmallLoops, dyn::LoopVariant::Fused,
+                 dyn::LoopVariant::FusedDse}) {
+    dyn::ElementArrays a(n);
+    auto gpu = core::make_device();
+    const auto counts = dyn::run_update(gpu, a, steps, v);
+    const double model_ms = gpu.simulated_time() / double(steps) * 1e3;
+    const double host_ms = wall_seconds(v, n, steps) / double(steps) * 1e3;
+    if (v == dyn::LoopVariant::SmallLoops) {
+      base_model = model_ms;
+      base_host = host_ms;
+    }
+    t.row({dyn::to_string(v), std::to_string(counts.kernels / steps),
+           std::to_string(counts.loads / steps / n),
+           std::to_string(counts.stores / steps / n),
+           core::Table::num(model_ms, 3), core::Table::num(host_ms, 3),
+           core::Table::num(base_model / model_ms, 2) + "x model / " +
+               core::Table::num(base_host / host_ms, 2) + "x host"});
+  }
+  t.print();
+  std::printf("\nPaper claims: SLNSP improves performance by almost 2X,"
+              " roughly matching the reduction in loads; dead-store"
+              " elimination adds ~20%%.\n");
+  return 0;
+}

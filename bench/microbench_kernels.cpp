@@ -1,0 +1,159 @@
+// Real wall-clock microbenchmarks (google-benchmark) of the hot kernels
+// across the workload: SpMV, AMG V-cycle, FEM partial vs full assembly,
+// FFT, transpose variants, MD pair forces, reaction kernels, and the
+// ParaDyn loop variants. These are the kernels the modeled experiments
+// are built from; their *relative* behaviour is measurable even on one
+// core.
+#include <benchmark/benchmark.h>
+
+#include "amg/amg.hpp"
+#include "beamline/fft.hpp"
+#include "core/rng.hpp"
+#include "dyn/paradyn.hpp"
+#include "fem/fem.hpp"
+#include "la/la.hpp"
+#include "md/md.hpp"
+#include "reaction/membrane.hpp"
+
+using namespace coe;
+
+namespace {
+
+void BM_Spmv(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = la::poisson2d(n, n);
+  std::vector<double> x(a.rows(), 1.0), y(a.rows());
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    a.spmv(ctx, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(a.nnz()));
+}
+BENCHMARK(BM_Spmv)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AmgVcycle(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto a = la::poisson2d(n, n);
+  amg::BoomerAmg solver(a, {});
+  std::vector<double> b(a.rows(), 1.0), z(a.rows());
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    solver.apply(ctx, b, z);
+    benchmark::DoNotOptimize(z.data());
+  }
+}
+BENCHMARK(BM_AmgVcycle)->Arg(32)->Arg(64);
+
+void BM_FemApply(benchmark::State& state) {
+  const auto p = static_cast<std::size_t>(state.range(0));
+  const bool partial = state.range(1) != 0;
+  // Fixed dof count across orders: nx*p ~ 48.
+  fem::TensorMesh2D mesh(48 / p, 48 / p, p);
+  fem::EllipticOperator op(mesh,
+                           partial ? fem::Assembly::Partial
+                                   : fem::Assembly::Full,
+                           1.0, 1.0);
+  if (!partial) (void)op.assembled_matrix();  // assemble outside the timer
+  std::vector<double> x(mesh.num_dofs(), 1.0), y(mesh.num_dofs());
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    op.apply(ctx, x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_FemApply)
+    ->Args({2, 1})
+    ->Args({2, 0})
+    ->Args({4, 1})
+    ->Args({4, 0})
+    ->Args({8, 1})
+    ->Args({8, 0});
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::Rng rng(5);
+  std::vector<beamline::cplx> a(n);
+  for (auto& v : a) v = beamline::cplx(rng.uniform(), rng.uniform());
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    beamline::fft(ctx, a, false);
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_Transpose(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto kind = state.range(1) != 0 ? beamline::TransposeKind::Tiled
+                                        : beamline::TransposeKind::Naive;
+  core::Rng rng(7);
+  std::vector<beamline::cplx> in(n * n), out;
+  for (auto& v : in) v = beamline::cplx(rng.uniform(), rng.uniform());
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    beamline::transpose(ctx, in, out, n, n, kind);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n * n * 16));
+}
+BENCHMARK(BM_Transpose)->Args({512, 0})->Args({512, 1})->Args({1024, 0})
+    ->Args({1024, 1});
+
+void BM_MdPairForces(benchmark::State& state) {
+  core::Rng rng(11);
+  md::Particles p;
+  md::Box box;
+  md::init_lattice(p, box, static_cast<std::size_t>(state.range(0)), 0.8,
+                   1.0, rng);
+  auto ctx = core::make_seq();
+  md::NeighborList nl(2.5, 0.3);
+  nl.build(ctx, p, box);
+  md::LennardJones lj(1.0, 1.0, 2.5);
+  for (auto _ : state) {
+    p.zero_forces();
+    auto res = md::compute_pair_forces(ctx, p, box, nl, lj);
+    benchmark::DoNotOptimize(res.energy);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.num_pairs()));
+}
+BENCHMARK(BM_MdPairForces)->Arg(6)->Arg(10)->Arg(14);
+
+void BM_ReactionKernel(benchmark::State& state) {
+  const auto kind = state.range(0) != 0 ? reaction::RateKind::Rational
+                                        : reaction::RateKind::Libm;
+  reaction::MembraneKernel kernel(kind);
+  std::vector<reaction::CellState> cells(
+      static_cast<std::size_t>(state.range(1)));
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    kernel.step(ctx, cells, 0.01);
+    benchmark::DoNotOptimize(cells.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_ReactionKernel)->Args({0, 10000})->Args({1, 10000});
+
+void BM_ParadynVariant(benchmark::State& state) {
+  dyn::ElementArrays a(static_cast<std::size_t>(state.range(1)));
+  const auto v = static_cast<dyn::LoopVariant>(state.range(0));
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    dyn::run_update(ctx, a, 1, v);
+    benchmark::DoNotOptimize(a.v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(1));
+}
+BENCHMARK(BM_ParadynVariant)
+    ->Args({0, 1 << 18})
+    ->Args({1, 1 << 18})
+    ->Args({2, 1 << 18});
+
+}  // namespace
+
+BENCHMARK_MAIN();

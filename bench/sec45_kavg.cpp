@@ -1,0 +1,70 @@
+// Section 4.5 reproduction: KAVG vs ASGD vs synchronous SGD. Real training
+// of a small network under simulated learner concurrency; the paper's
+// claims: ASGD needs impractically small learning rates, KAVG scales with
+// far fewer global reductions, and the optimal K is usually > 1.
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "ml/ml.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("=== Section 4.5: KAVG vs ASGD distributed training ===\n\n");
+
+  auto ds = ml::make_blobs(800, 10, 8, 0.85, 41);
+  const std::vector<std::size_t> arch{10, 24, 8};
+
+  // Algorithm comparison at an aggressive learning rate (16 learners).
+  core::Table t({"Algorithm", "lr", "grad budget", "comm rounds",
+                 "final loss", "final accuracy", "status"});
+  for (auto algo : {ml::DistAlgo::SyncSgd, ml::DistAlgo::Asgd,
+                    ml::DistAlgo::Kavg}) {
+    ml::DenseNet net(arch, 7);
+    ml::DistConfig cfg;
+    cfg.learners = 16;
+    cfg.lr = 0.8;
+    cfg.k = 4;
+    cfg.gradient_budget = 4000;
+    auto res = ml::train_distributed(net, ds, algo, cfg);
+    t.row({ml::to_string(algo), "0.8", std::to_string(cfg.gradient_budget),
+           std::to_string(res.comm_rounds),
+           res.diverged ? "inf" : core::Table::num(res.final_loss, 3),
+           core::Table::num(100.0 * res.final_accuracy, 1) + "%",
+           res.diverged ? "DIVERGED" : "ok"});
+  }
+  t.print();
+
+  // ASGD at the learning rate it can actually tolerate.
+  {
+    ml::DenseNet net(arch, 7);
+    ml::DistConfig cfg;
+    cfg.learners = 16;
+    cfg.lr = 0.05;  // "usually too small for practical purposes"
+    cfg.gradient_budget = 4000;
+    auto res = ml::train_distributed(net, ds, ml::DistAlgo::Asgd, cfg);
+    std::printf("\nASGD with the stability-limited lr=0.05: accuracy %.1f%%"
+                " after the same budget (slow convergence).\n",
+                100.0 * res.final_accuracy);
+  }
+
+  // K sweep: the optimal K for accuracy-per-budget is > 1.
+  std::printf("\nKAVG K sweep (16 learners, lr 0.8, fixed budget):\n");
+  core::Table k({"K", "comm rounds", "final loss", "final accuracy"});
+  for (std::size_t kk : {1, 2, 4, 8, 16, 32}) {
+    ml::DenseNet net(arch, 7);
+    ml::DistConfig cfg;
+    cfg.learners = 16;
+    cfg.lr = 0.8;
+    cfg.k = kk;
+    cfg.gradient_budget = 4000;
+    auto res = ml::train_distributed(net, ds, ml::DistAlgo::Kavg, cfg);
+    k.row({std::to_string(kk), std::to_string(res.comm_rounds),
+           core::Table::num(res.final_loss, 3),
+           core::Table::num(100.0 * res.final_accuracy, 1) + "%"});
+  }
+  k.print();
+  std::printf("\nPaper: \"the optimal K for convergence is usually greater"
+              " than one, so frequent global reductions are unnecessary\".\n");
+  return 0;
+}

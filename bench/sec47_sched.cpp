@@ -1,0 +1,84 @@
+// Section 4.7 reproduction (Opt): the job-scheduler-simulator study.
+// Claim 1: with rate-distributed arrivals, "job arrival rate should be
+// throttled to less than the aggregated processing capacity of the GPUs."
+// Claim 2: for batch arrivals, "Shortest Job First with Quota should be
+// used to increase GPU utilization."
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("=== Section 4.7: job-scheduler policy study ===\n\n");
+
+  const int gpus = 16;
+  const double mean_dur = 60.0;
+  const double capacity = gpus / mean_dur;  // jobs/s the node can absorb
+
+  // Claim 1: arrival-rate sweep.
+  std::printf("Poisson arrivals, FCFS, %d GPUs, mean job %gs (capacity ="
+              " %.3f jobs/s):\n",
+              gpus, mean_dur, capacity);
+  core::Table a({"arrival rate / capacity", "mean wait (s)", "max wait (s)",
+                 "utilization"});
+  for (double frac : {0.5, 0.7, 0.9, 1.1, 1.4}) {
+    auto jobs = sched::make_workload(
+        {3000, mean_dur, 1.5, 0.0, frac * capacity, 7});
+    sched::Simulator sim({gpus, sched::Policy::Fcfs, 0.0, 0});
+    auto m = sim.run(jobs);
+    a.row({core::Table::num(frac, 1), core::Table::num(m.mean_wait, 1),
+           core::Table::num(m.max_wait, 1),
+           core::Table::num(100.0 * m.utilization, 1) + "%"});
+  }
+  a.print();
+  std::printf("-> waits explode past rate/capacity = 1: throttle below the"
+              " aggregate GPU capacity.\n\n");
+
+  // Claim 2: one batch of topology-optimization jobs, policy comparison.
+  std::printf("Batch arrival (1000 heavy-tailed jobs at t=0), %d GPUs:\n",
+              gpus);
+  core::Table b({"Policy", "mean wait (s)", "max wait (s)",
+                 "mean turnaround (s)", "utilization"});
+  auto jobs = sched::make_workload({1000, mean_dur, 0.8, 0.1, 0.0, 21});
+  for (auto p : {sched::Policy::Fcfs, sched::Policy::Sjf,
+                 sched::Policy::SjfQuota}) {
+    sched::Simulator sim({gpus, p, 0.0, 0});
+    auto m = sim.run(jobs);
+    b.row({sched::to_string(p), core::Table::num(m.mean_wait, 1),
+           core::Table::num(m.max_wait, 1),
+           core::Table::num(m.mean_turnaround, 1),
+           core::Table::num(100.0 * m.utilization, 2) + "%"});
+  }
+  b.print();
+  std::printf("-> SJF slashes mean wait vs FCFS; the quota's long-job"
+              " reserve keeps near-SJF mean wait while bounding the"
+              " worst case.\n\n");
+
+  // Starvation guard: a saturating short-job stream plus a few long jobs.
+  std::printf("Long-job starvation under a saturating short stream:\n");
+  auto mixed = sched::make_workload({4000, mean_dur, 1.5, 0.0,
+                                     1.15 * capacity, 13});
+  for (int i = 0; i < 8; ++i) {
+    mixed.push_back(sched::Job{90000u + std::uint64_t(i), 100.0, 1800.0,
+                               1800.0, 1});
+  }
+  core::Table c({"Policy", "max long-job wait (s)", "overall mean wait"});
+  for (auto p : {sched::Policy::Sjf, sched::Policy::SjfQuota}) {
+    sched::Simulator sim({gpus, p, 900.0, 4});
+    auto m = sim.run(mixed);
+    double longest = 0.0;
+    for (const auto& o : sim.outcomes()) {
+      if (o.job.duration >= 900.0) {
+        longest = std::max(longest, o.start_time - o.job.submit_time);
+      }
+    }
+    c.row({sched::to_string(p), core::Table::num(longest, 0),
+           core::Table::num(m.mean_wait, 1)});
+  }
+  c.print();
+  std::printf("-> the reserve caps how long a big topology-optimization job"
+              " can be starved by the stream of small ones.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Table 2 reproduction: "Historically best graph scale and performance".
+// A real BFS runs locally to calibrate bytes/edge; each historical system
+// is then pushed through the capacity (max scale) + bandwidth/network
+// (GTEPs) model. Paper values are printed alongside for comparison.
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "graph/bfs.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("=== Table 2: historically best graph scale and GTEPs ===\n");
+  std::printf("Substitution: HavoqGT runs on LLNL clusters -> real RMAT BFS"
+              " (validated) + machine-era model; see DESIGN.md.\n\n");
+
+  // Calibrate bytes/edge and bytes/vertex from a real validated run.
+  core::Rng rng(42);
+  const std::size_t scale = 16;
+  auto edges = graph::rmat_edges(scale, 16, rng);
+  graph::Graph g(std::size_t{1} << scale, edges);
+  auto ctx = core::make_seq();
+  auto r = graph::bfs(ctx, g, 1, graph::BfsMode::Hybrid);
+  const bool valid = graph::validate_bfs(g, 1, r);
+  const double bpe = graph::measured_bytes_per_edge(g);
+  const double bpv = 24.0;  // parent + frontier flags + offsets
+  std::printf("local calibration: scale %zu, %zu vertices, %zu edges, "
+              "%zu reached, valid=%s, bytes/edge=%.1f\n\n",
+              scale, g.num_vertices(), g.num_directed_edges() / 2,
+              r.reached, valid ? "yes" : "NO", bpe);
+
+  struct Row {
+    graph::GraphSystem sys;
+    int year;
+    std::size_t paper_scale;
+    double paper_gteps;
+  };
+  const double gib = double(1ull << 30);
+  const double tib = 1024.0 * gib;
+  std::vector<Row> rows;
+  // Single fat nodes with large flash arrays (HavoqGT's external-memory
+  // target), then the clusters.
+  rows.push_back({{"Kraken", hsim::machines::cpu_2011(),
+                   hsim::clusters::ethernet(1), 1, 512.0 * gib, 5.0 * tib,
+                   1.0e9},
+                  2011, 34, 0.053});
+  rows.push_back({{"Leviathan", hsim::machines::cpu_2011(),
+                   hsim::clusters::ethernet(1), 1, 1024.0 * gib, 19.0 * tib,
+                   1.0e9},
+                  2011, 36, 0.053});
+  rows.push_back({{"Hyperion", hsim::machines::cpu_2011(),
+                   hsim::clusters::ethernet(64), 64, 24.0 * gib,
+                   0.3 * tib, 1.0e9},
+                  2011, 36, 0.601});
+  rows.push_back({{"Bertha", hsim::machines::cpu_2014(),
+                   hsim::clusters::ethernet(1), 1, 2048.0 * gib, 37.0 * tib,
+                   1.0e9},
+                  2014, 37, 0.054});
+  rows.push_back({{"Catalyst", hsim::machines::cpu_2014(),
+                   hsim::clusters::ethernet(300), 300, 128.0 * gib,
+                   0.8 * tib, 2.0e9},
+                  2014, 40, 4.175});
+  // Final system: 256 GB DRAM + 1.6 TB NVMe per node ("the value of NVMe").
+  rows.push_back({{"Final System", hsim::machines::power9(),
+                   hsim::clusters::sierra(2048), 2048, 256.0 * gib,
+                   1.6e12, 3.0e9},
+                  2018, 42, 67.258});
+
+  core::Table t({"Machine", "Year", "Nodes", "Scale (paper)", "Scale (model)",
+                 "GTEPs (paper)", "GTEPs (model)", "bound by"});
+  for (const auto& row : rows) {
+    auto p = graph::scale_model(row.sys, bpe, bpv);
+    t.row({row.sys.name, std::to_string(row.year),
+           std::to_string(row.sys.nodes), std::to_string(row.paper_scale),
+           std::to_string(p.max_scale), core::Table::num(row.paper_gteps, 3),
+           core::Table::num(p.gteps, 3), row.sys.name[0] ? p.bound_by : ""});
+  }
+  t.print();
+  std::printf("\nShape checks: single-node GTEPs ~0.05 across eras (memory"
+              " bound), NVMe lifts the final system's feasible scale, and"
+              " 2048 fat-tree nodes deliver tens of GTEPs.\n");
+  return valid ? 0 : 1;
+}

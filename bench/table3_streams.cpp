@@ -1,0 +1,74 @@
+// Table 3 reproduction: "Validation accuracies for three stream
+// approaches" on UCF101 and HMDB51. Single-stream accuracies come from a
+// calibrated synthetic score generator (the datasets/backbones are
+// unavailable; DESIGN.md section 2); the combination methods are real.
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "ml/streams.hpp"
+
+using namespace coe;
+
+namespace {
+
+struct DatasetSpec {
+  const char* name;
+  std::size_t classes;
+  std::array<double, 3> stream_acc;  // spatial, temporal, SPyNet (paper)
+  double paper_avg, paper_weighted, paper_logreg, paper_nn;
+};
+
+void run_dataset(const DatasetSpec& spec) {
+  ml::StreamsConfig cfg;
+  cfg.classes = spec.classes;
+  cfg.train_samples = 6000;
+  cfg.test_samples = 4000;
+  cfg.target_accuracy = spec.stream_acc;
+  cfg.correlation = 0.82;
+  cfg.seed = 1000 + spec.classes;
+  auto ds = ml::generate_streams(cfg);
+
+  const char* stream_names[3] = {"Spatial Stream", "Temporal Stream",
+                                 "SPyNet Stream"};
+  const double paper_single[3] = {spec.stream_acc[0] * 100.0,
+                                  spec.stream_acc[1] * 100.0,
+                                  spec.stream_acc[2] * 100.0};
+
+  std::array<double, 3> val_acc{};
+  for (std::size_t s = 0; s < 3; ++s) {
+    val_acc[s] = ml::stream_accuracy(ds.train, s);
+  }
+
+  core::Table t({"Combination Approach", "paper (%)", "measured (%)"});
+  for (std::size_t s = 0; s < 3; ++s) {
+    t.row({stream_names[s], core::Table::num(paper_single[s], 2),
+           core::Table::num(100.0 * ml::stream_accuracy(ds.test, s), 2)});
+  }
+  t.row({"Simple Average", core::Table::num(spec.paper_avg, 2),
+         core::Table::num(100.0 * ml::combine_simple_average(ds.test), 2)});
+  t.row({"Weighted Average", core::Table::num(spec.paper_weighted, 2),
+         core::Table::num(
+             100.0 * ml::combine_weighted_average(ds.test, val_acc), 2)});
+  t.row({"Logistic Regression", core::Table::num(spec.paper_logreg, 2),
+         core::Table::num(
+             100.0 * ml::combine_logistic_regression(ds.train, ds.test), 2)});
+  t.row({"Shallow NN", core::Table::num(spec.paper_nn, 2),
+         core::Table::num(100.0 * ml::combine_shallow_nn(ds.train, ds.test),
+                          2)});
+  std::printf("--- %s (%zu classes) ---\n", spec.name, spec.classes);
+  t.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 3: validation accuracies, 3-stream ensembles ===\n");
+  std::printf("Shape to reproduce: each single stream ~55-88%%; any fusion"
+              " gains several points over the best single stream.\n\n");
+  run_dataset({"UCF101", 101, {0.8506, 0.8470, 0.8832}, 92.78, 93.47, 92.60,
+               93.18});
+  run_dataset({"HMDB51", 51, {0.6144, 0.5634, 0.5869}, 75.16, 77.45, 81.24,
+               80.33});
+  return 0;
+}

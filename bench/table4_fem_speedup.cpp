@@ -1,0 +1,77 @@
+// Table 4 reproduction: "GPU speedup using MFEM, HYPRE, and SUNDIALS" on
+// the nonlinear transient diffusion problem, for orders p = 2, 4, 8 and
+// four problem sizes. The coupled solver (mini-MFEM partial assembly +
+// BoomerAMG-on-LOR + BDF) runs for real; the speedup is the ratio of the
+// modeled single-P9-thread time to the modeled V100 time over the
+// identical kernel/transfer stream (see DESIGN.md section 2).
+#include <cmath>
+#include <cstdio>
+
+#include "core/table.hpp"
+#include "fem/fem.hpp"
+
+using namespace coe;
+
+namespace {
+
+double speedup_for(std::size_t target_unknowns, std::size_t order,
+                   std::size_t* actual_unknowns) {
+  // Pick nx so (nx*p + 1)^2 ~ target unknowns.
+  const double side = std::sqrt(static_cast<double>(target_unknowns));
+  auto nx = static_cast<std::size_t>(
+      std::max(2.0, std::round((side - 1.0) / static_cast<double>(order))));
+  fem::DiffusionConfig cfg;
+  cfg.nx = nx;
+  cfg.order = order;
+  cfg.t_final = 1e-4;
+  cfg.dt_init = 1e-4;
+  cfg.rtol = 1e-3;
+  cfg.max_timesteps = 1;  // one implicit step exercises setup + solve
+
+  // The paper's solve phase "currently requires the use of Unified
+  // Memory": derate the V100's effective bandwidth accordingly.
+  auto v100_um = hsim::machines::v100();
+  v100_um.name = "V100 (UM-managed)";
+  v100_um.bw_efficiency = 0.55;
+  auto gpu = core::make_device(v100_um);
+  const std::size_t cpu_shadow =
+      gpu.add_shadow(hsim::machines::power9_thread());
+  fem::NonlinearDiffusion app(gpu, cfg);
+  auto rep = app.run();
+  *actual_unknowns = rep.dofs;
+  // Per-kernel roofline on both machines over the identical kernel stream.
+  return gpu.shadow_time(cpu_shadow) / gpu.simulated_time();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table 4: GPU speedup, MFEM + hypre + SUNDIALS ===\n");
+  std::printf("Baseline is a single CPU thread (as in the paper); the same"
+              " real kernel stream is priced on both machines.\n\n");
+
+  const std::size_t sizes[] = {20800, 82600, 329000, 1313000};
+  const double paper[4][3] = {{2.88, 2.78, 4.97},
+                              {6.67, 8.00, 12.47},
+                              {10.59, 13.71, 19.00},
+                              {12.32, 14.36, 20.80}};
+  const std::size_t orders[] = {2, 4, 8};
+
+  core::Table t({"Unknowns (target)", "p=2 paper", "p=2 model", "p=4 paper",
+                 "p=4 model", "p=8 paper", "p=8 model"});
+  for (std::size_t si = 0; si < 4; ++si) {
+    std::vector<std::string> row{std::to_string(sizes[si])};
+    for (std::size_t oi = 0; oi < 3; ++oi) {
+      std::size_t actual = 0;
+      const double s = speedup_for(sizes[si], orders[oi], &actual);
+      row.push_back(core::Table::num(paper[si][oi], 2));
+      row.push_back(core::Table::num(s, 2));
+    }
+    t.row(row);
+  }
+  t.print();
+  std::printf("\nShape checks: speedup grows with problem size (launch"
+              " overhead amortizes) and with order (higher arithmetic"
+              " intensity favors the GPU).\n");
+  return 0;
+}

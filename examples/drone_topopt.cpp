@@ -1,0 +1,64 @@
+// Opt-framework example (Section 4.7, Figure 5): topology optimization of
+// a cantilever bracket with the matrix-free CG solver -- the same workload
+// class that designed the paper's flight-tested drone. Prints the evolving
+// design as ASCII art and writes the final density field.
+#include <cstdio>
+#include <fstream>
+
+#include "topopt/simp.hpp"
+
+using namespace coe;
+
+namespace {
+
+void print_design(const topopt::TopOpt& opt, std::size_t nelx,
+                  std::size_t nely) {
+  const char* shades = " .:-=+*#%@";
+  for (std::size_t ey = 0; ey < nely; ++ey) {
+    std::printf("  ");
+    for (std::size_t ex = 0; ex < nelx; ++ex) {
+      const double d = opt.density(ex, ey);
+      std::printf("%c", shades[static_cast<int>(d * 9.999)]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("drone bracket design: SIMP topology optimization\n");
+  std::printf("left edge clamped, unit load at right mid-edge, 40%% "
+              "material budget\n\n");
+
+  auto ctx = core::make_device(hsim::machines::v100());
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 60;
+  cfg.nely = 20;
+  cfg.volfrac = 0.4;
+  topopt::TopOpt opt(ctx, cfg);
+
+  std::size_t total_cg = 0;
+  for (int iter = 1; iter <= 40; ++iter) {
+    const auto info = opt.iterate();
+    total_cg += info.cg_iters;
+    if (iter % 10 == 0) {
+      std::printf("iteration %2d: compliance %.3f, volume %.3f, CG iters"
+                  " %zu\n",
+                  iter, info.compliance, info.volume, info.cg_iters);
+    }
+  }
+  std::printf("\nfinal design:\n");
+  print_design(opt, cfg.nelx, cfg.nely);
+
+  std::ofstream csv("drone_density.csv");
+  for (std::size_t ey = 0; ey < cfg.nely; ++ey) {
+    for (std::size_t ex = 0; ex < cfg.nelx; ++ex) {
+      csv << opt.density(ex, ey) << (ex + 1 < cfg.nelx ? "," : "\n");
+    }
+  }
+  std::printf("\nwrote drone_density.csv; %zu total matrix-free CG"
+              " iterations, modeled V100 time %.1f ms\n",
+              total_cg, ctx.simulated_time() * 1e3);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// SW4-style earthquake simulation (Section 4.9): a Ricker point source in
+// a 3D domain, 4th-order wave propagation, and a surface shake map (the
+// Figure 7 analog) written as a PGM image + CSV.
+#include <cstdio>
+#include <fstream>
+
+#include "stencil/wave.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("earthquake example: point-source rupture + shake map\n\n");
+  auto ctx = core::make_device(hsim::machines::v100());
+
+  const std::size_t n = 48;
+  stencil::WaveOptions opts;  // fused + tiled + device forcing: the
+  opts.tiled = true;          // production configuration
+  stencil::WaveSolver solver(ctx, n, n, n, 10.0 /*km*/, 3.0 /*km/s*/, opts);
+
+  // A buried "fault patch": a cluster of Ricker sources.
+  for (std::size_t s = 0; s < 5; ++s) {
+    stencil::PointSource src;
+    src.i = n / 3 + s;
+    src.j = n / 2;
+    src.k = n / 2 + s / 2;  // depth
+    src.amplitude = 50.0;
+    src.freq = 1.2;
+    src.t0 = 0.4 + 0.05 * static_cast<double>(s);  // rupture propagates
+    solver.add_source(src);
+  }
+
+  const double dt = solver.stable_dt();
+  const double t_end = 2.5;
+  std::size_t steps = 0;
+  while (solver.time() < t_end) {
+    solver.step(dt);
+    ++steps;
+  }
+  std::printf("ran %zu steps to t = %.2f s on a %zu^3 grid (h = %.0f m)\n",
+              steps, solver.time(), n, solver.h() * 1000.0);
+  std::printf("modeled V100 wall time: %.2f ms, %llu kernel launches\n",
+              ctx.simulated_time() * 1e3,
+              static_cast<unsigned long long>(ctx.counters().launches));
+
+  // Shake map (peak |u| at the surface) as PGM + CSV.
+  const auto shake = solver.shake_map();
+  double peak = 0.0;
+  for (double v : shake) peak = std::max(peak, v);
+  {
+    std::ofstream pgm("shake_map.pgm");
+    pgm << "P2\n" << n << " " << n << "\n255\n";
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        pgm << static_cast<int>(255.0 * shake[i * n + j] / peak) << " ";
+      }
+      pgm << "\n";
+    }
+  }
+  {
+    std::ofstream csv("shake_map.csv");
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        csv << shake[i * n + j] << (j + 1 < n ? "," : "\n");
+      }
+    }
+  }
+  std::printf("peak ground motion %.3e; wrote shake_map.pgm and"
+              " shake_map.csv (Fig. 7 analog)\n",
+              peak);
+  return 0;
+}

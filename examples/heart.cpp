@@ -1,0 +1,51 @@
+// Cardioid-style cardiac simulation (Section 4.1): stimulate a tissue
+// sheet, watch the action-potential wave cross it, and compare the libm
+// and DSL-generated (rational polynomial) reaction kernels end to end.
+#include <algorithm>
+#include <cstdio>
+
+#include "reaction/monodomain.hpp"
+
+using namespace coe;
+
+namespace {
+
+void run_tissue(reaction::RateKind rates, const char* label) {
+  auto gpu = core::make_device(hsim::machines::v100());
+  auto cpu = core::make_cpu(hsim::machines::power9());
+  reaction::TissueConfig cfg;
+  cfg.nx = 96;
+  cfg.ny = 32;
+  cfg.rates = rates;
+  reaction::Monodomain tissue(gpu, cpu, cfg);
+  tissue.stimulate(0, 6, 0, cfg.ny, 80.0, 3.0);
+
+  std::printf("%s kernel:\n", label);
+  std::printf("  t(ms)  excited%%  wavefront x\n");
+  for (int snapshot = 0; snapshot < 8; ++snapshot) {
+    tissue.run(3.0);
+    // Furthest column that has fired (v > 0 anywhere in the column).
+    std::size_t front = 0;
+    for (std::size_t ix = 0; ix < cfg.nx; ++ix) {
+      for (std::size_t iy = 0; iy < cfg.ny; ++iy) {
+        if (tissue.voltage(ix, iy) > 0.0) front = std::max(front, ix);
+      }
+    }
+    std::printf("  %5.1f   %6.1f   %3zu / %zu\n", tissue.time(),
+                100.0 * tissue.excited_fraction(), front, cfg.nx);
+  }
+  std::printf("  modeled V100 time: %.2f ms for %.0f ms of tissue time\n\n",
+              gpu.simulated_time() * 1e3, tissue.time());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("heart example: action-potential wave on a tissue sheet\n\n");
+  run_tissue(reaction::RateKind::Libm, "libm (exact exp-based rates)");
+  run_tissue(reaction::RateKind::Rational,
+             "Melodee-style rational (exp-free)");
+  std::printf("Both kernels propagate the same wave; the rational one runs"
+              " with zero libm calls in the inner loop.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Quickstart: the minicoe portability layer and machine models in ~100
+// lines. Runs a vector triad through the RAJA-style forall on the host,
+// then replays the same kernel stream on modeled Sierra-era hardware and
+// prints a roofline report -- the core workflow every mini-app in this
+// repository builds on.
+#include <cstdio>
+#include <vector>
+
+#include "core/coe.hpp"
+
+using namespace coe;
+
+int main() {
+  std::printf("minicoe quickstart\n==================\n\n");
+
+  // 1. A portable kernel: y = a*x + y over 1M elements.
+  const std::size_t n = 1 << 20;
+  std::vector<double> x(n, 1.5), y(n, 0.5);
+
+  // Run on a modeled V100 with a POWER9-thread shadow: one execution,
+  // two machine predictions.
+  auto gpu = core::make_device(hsim::machines::v100());
+  const std::size_t cpu = gpu.add_shadow(hsim::machines::power9_thread());
+
+  gpu.set_phase("triad");
+  for (int step = 0; step < 10; ++step) {
+    gpu.forall(n, {2.0, 24.0}, [&](std::size_t i) {
+      y[i] += 2.0 * x[i];
+    });
+  }
+  std::printf("y[42] = %.1f after 10 triads (computed for real)\n\n",
+              y[42]);
+
+  // 2. What did that cost on each machine?
+  std::printf("kernel stream: %llu launches, %.2f GFLOP, %.2f GB\n",
+              static_cast<unsigned long long>(gpu.counters().launches),
+              gpu.counters().flops / 1e9, gpu.counters().bytes / 1e9);
+  std::printf("  modeled V100 time:        %.4f ms\n",
+              gpu.simulated_time() * 1e3);
+  std::printf("  modeled P9-thread time:   %.4f ms  (%.1fx slower)\n\n",
+              gpu.shadow_time(cpu) * 1e3,
+              gpu.shadow_time(cpu) / gpu.simulated_time());
+
+  // 3. Data residency: buffers track host/device copies and charge
+  // transfers only when a side is stale.
+  core::Buffer<double> buf(gpu, n);
+  auto host_side = buf.host_write();
+  host_side[0] = 3.14;
+  (void)buf.device_read();  // one H2D transfer happens here
+  (void)buf.device_read();  // already resident: free
+  std::printf("buffer transfers so far: %llu (%.1f MB H2D)\n\n",
+              static_cast<unsigned long long>(gpu.counters().transfers),
+              gpu.counters().h2d_bytes / 1e6);
+
+  // 4. The machine catalog.
+  core::Table t({"machine", "eff. GFLOP/s", "eff. GB/s", "ridge (F/B)"});
+  for (const auto& m :
+       {hsim::machines::power9(), hsim::machines::p100(),
+        hsim::machines::v100(), hsim::machines::knl_node()}) {
+    t.row({m.name, core::Table::num(m.flops() / 1e9, 0),
+           core::Table::num(m.bandwidth() / 1e9, 0),
+           core::Table::num(m.ridge(), 2)});
+  }
+  t.print();
+  std::printf("\nThe triad has arithmetic intensity 2/24 = 0.083 F/B --"
+              " far below every ridge, so it is bandwidth-bound"
+              " everywhere.\n");
+  return 0;
+}

@@ -1,0 +1,5 @@
+#pragma once
+// Umbrella header for the mini-hypre module.
+
+#include "amg/boomeramg.hpp"
+#include "amg/struct_solver.hpp"

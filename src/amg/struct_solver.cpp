@@ -1,0 +1,200 @@
+#include "amg/struct_solver.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace coe::amg {
+
+namespace {
+
+// Ghosted row-major indexing helpers: arrays are (nx+2) x (ny+2), interior
+// indices run 1..nx / 1..ny, ghosts hold the zero Dirichlet boundary.
+inline std::size_t gidx(std::size_t i, std::size_t j, std::size_t ny) {
+  return i * (ny + 2) + j;
+}
+
+}  // namespace
+
+StructSolver::StructSolver(std::size_t nx, std::size_t ny,
+                           StructStencil5 stencil, Options opts)
+    : opts_(opts) {
+  // Vertex-centered hierarchy: coarsen while both extents have the
+  // (2m + 1) shape required by full weighting / bilinear interpolation.
+  std::size_t cx = nx, cy = ny;
+  for (;;) {
+    Level lev;
+    lev.nx = cx;
+    lev.ny = cy;
+    lev.st = stencil;
+    const std::size_t total = (cx + 2) * (cy + 2);
+    lev.u.assign(total, 0.0);
+    lev.f.assign(total, 0.0);
+    lev.r.assign(total, 0.0);
+    levels_.push_back(std::move(lev));
+    if (cx <= opts_.coarse_size || cy <= opts_.coarse_size) break;
+    if (cx % 2 == 0 || cy % 2 == 0) break;  // parity exhausted
+    cx = (cx - 1) / 2;
+    cy = (cy - 1) / 2;
+  }
+}
+
+void StructSolver::smooth(core::ExecContext& ctx, const Level& lev,
+                          std::size_t sweeps) const {
+  const auto st = lev.st;
+  const std::size_t ny = lev.ny;
+  const double w = opts_.jacobi_weight;
+  Box2 box{1, lev.nx + 1, 1, lev.ny + 1};
+  for (std::size_t s = 0; s < sweeps; ++s) {
+    // Jacobi needs the old iterate: compute into r, then swap-copy.
+    box_loop(ctx, box, {10.0, 56.0}, [&](std::size_t i, std::size_t j) {
+      const double sum = st.west * lev.u[gidx(i - 1, j, ny)] +
+                         st.east * lev.u[gidx(i + 1, j, ny)] +
+                         st.south * lev.u[gidx(i, j - 1, ny)] +
+                         st.north * lev.u[gidx(i, j + 1, ny)];
+      const double unew = (lev.f[gidx(i, j, ny)] - sum) / st.center;
+      lev.r[gidx(i, j, ny)] =
+          (1.0 - w) * lev.u[gidx(i, j, ny)] + w * unew;
+    });
+    box_loop(ctx, box, {0.0, 16.0}, [&](std::size_t i, std::size_t j) {
+      lev.u[gidx(i, j, ny)] = lev.r[gidx(i, j, ny)];
+    });
+  }
+}
+
+void StructSolver::residual(core::ExecContext& ctx, const Level& lev) const {
+  const auto st = lev.st;
+  const std::size_t ny = lev.ny;
+  Box2 box{1, lev.nx + 1, 1, lev.ny + 1};
+  box_loop(ctx, box, {10.0, 56.0}, [&](std::size_t i, std::size_t j) {
+    const double au = st.center * lev.u[gidx(i, j, ny)] +
+                      st.west * lev.u[gidx(i - 1, j, ny)] +
+                      st.east * lev.u[gidx(i + 1, j, ny)] +
+                      st.south * lev.u[gidx(i, j - 1, ny)] +
+                      st.north * lev.u[gidx(i, j + 1, ny)];
+    lev.r[gidx(i, j, ny)] = lev.f[gidx(i, j, ny)] - au;
+  });
+}
+
+void StructSolver::vcycle(core::ExecContext& ctx, std::size_t l) const {
+  const Level& lev = levels_[l];
+  if (l + 1 == levels_.size()) {
+    // Coarsest grid is tiny: smooth it to convergence.
+    smooth(ctx, lev, 200);
+    return;
+  }
+  smooth(ctx, lev, opts_.pre_sweeps);
+  residual(ctx, lev);
+
+  const Level& next = levels_[l + 1];
+  const std::size_t nyf = lev.ny;
+  const std::size_t nyc = next.ny;
+  // Full-weighting restriction; the factor 4 rediscretizes the unscaled
+  // stencil on the doubled mesh spacing.
+  Box2 cbox{1, next.nx + 1, 1, next.ny + 1};
+  box_loop(ctx, cbox, {13.0, 80.0}, [&](std::size_t ic, std::size_t jc) {
+    const std::size_t i = 2 * ic, j = 2 * jc;
+    const auto& r = lev.r;
+    const double fw =
+        (r[gidx(i - 1, j - 1, nyf)] + r[gidx(i + 1, j - 1, nyf)] +
+         r[gidx(i - 1, j + 1, nyf)] + r[gidx(i + 1, j + 1, nyf)] +
+         2.0 * (r[gidx(i - 1, j, nyf)] + r[gidx(i + 1, j, nyf)] +
+                r[gidx(i, j - 1, nyf)] + r[gidx(i, j + 1, nyf)]) +
+         4.0 * r[gidx(i, j, nyf)]) /
+        16.0;
+    next.f[gidx(ic, jc, nyc)] = 4.0 * fw;
+  });
+  box_loop(ctx, Box2{0, next.nx + 2, 0, next.ny + 2}, {0.0, 8.0},
+           [&](std::size_t i, std::size_t j) {
+             next.u[gidx(i, j, nyc)] = 0.0;
+           });
+  vcycle(ctx, l + 1);
+
+  // Bilinear prolongation and correction.
+  Box2 fbox{1, lev.nx + 1, 1, lev.ny + 1};
+  box_loop(ctx, fbox, {4.0, 48.0}, [&](std::size_t i, std::size_t j) {
+    const auto& uc = next.u;
+    double corr;
+    if (i % 2 == 0 && j % 2 == 0) {
+      corr = uc[gidx(i / 2, j / 2, nyc)];
+    } else if (i % 2 == 1 && j % 2 == 0) {
+      corr = 0.5 * (uc[gidx(i / 2, j / 2, nyc)] +
+                    uc[gidx(i / 2 + 1, j / 2, nyc)]);
+    } else if (i % 2 == 0 && j % 2 == 1) {
+      corr = 0.5 * (uc[gidx(i / 2, j / 2, nyc)] +
+                    uc[gidx(i / 2, j / 2 + 1, nyc)]);
+    } else {
+      corr = 0.25 * (uc[gidx(i / 2, j / 2, nyc)] +
+                     uc[gidx(i / 2 + 1, j / 2, nyc)] +
+                     uc[gidx(i / 2, j / 2 + 1, nyc)] +
+                     uc[gidx(i / 2 + 1, j / 2 + 1, nyc)]);
+    }
+    lev.u[gidx(i, j, nyf)] += corr;
+  });
+  smooth(ctx, lev, opts_.post_sweeps);
+}
+
+double StructSolver::residual_norm(core::ExecContext& ctx,
+                                   std::span<const double> f,
+                                   std::span<const double> u) const {
+  const Level& lev = levels_[0];
+  const std::size_t ny = lev.ny;
+  // Load u, f into the ghosted arrays.
+  for (std::size_t i = 1; i <= lev.nx; ++i) {
+    for (std::size_t j = 1; j <= lev.ny; ++j) {
+      lev.u[gidx(i, j, ny)] = u[(i - 1) * lev.ny + (j - 1)];
+      lev.f[gidx(i, j, ny)] = f[(i - 1) * lev.ny + (j - 1)];
+    }
+  }
+  residual(ctx, lev);
+  double s = 0.0;
+  for (std::size_t i = 1; i <= lev.nx; ++i) {
+    for (std::size_t j = 1; j <= lev.ny; ++j) {
+      s += lev.r[gidx(i, j, ny)] * lev.r[gidx(i, j, ny)];
+    }
+  }
+  return std::sqrt(s);
+}
+
+std::size_t StructSolver::solve(core::ExecContext& ctx,
+                                std::span<const double> f,
+                                std::span<double> u, double rel_tol,
+                                std::size_t max_cycles) const {
+  const Level& lev = levels_[0];
+  assert(f.size() >= lev.nx * lev.ny && u.size() >= lev.nx * lev.ny);
+  const std::size_t ny = lev.ny;
+  for (std::size_t i = 1; i <= lev.nx; ++i) {
+    for (std::size_t j = 1; j <= lev.ny; ++j) {
+      lev.u[gidx(i, j, ny)] = u[(i - 1) * lev.ny + (j - 1)];
+      lev.f[gidx(i, j, ny)] = f[(i - 1) * lev.ny + (j - 1)];
+    }
+  }
+
+  auto rnorm = [&]() {
+    residual(ctx, lev);
+    double s = 0.0;
+    for (std::size_t i = 1; i <= lev.nx; ++i) {
+      for (std::size_t j = 1; j <= lev.ny; ++j) {
+        s += lev.r[gidx(i, j, ny)] * lev.r[gidx(i, j, ny)];
+      }
+    }
+    return std::sqrt(s);
+  };
+
+  const double r0 = rnorm();
+  std::size_t cycles = 0;
+  if (r0 > 0.0) {
+    while (cycles < max_cycles) {
+      vcycle(ctx, 0);
+      ++cycles;
+      if (rnorm() <= rel_tol * r0) break;
+    }
+  }
+  for (std::size_t i = 1; i <= lev.nx; ++i) {
+    for (std::size_t j = 1; j <= lev.ny; ++j) {
+      u[(i - 1) * lev.ny + (j - 1)] = lev.u[gidx(i, j, ny)];
+    }
+  }
+  return cycles;
+}
+
+}  // namespace coe::amg

@@ -1,0 +1,91 @@
+#pragma once
+// mini-hypre structured-grid side. hypre's structured solvers are
+// "abstracted with macros called BoxLoops ... completely restructured to
+// allow ports of CUDA, OpenMP 4.5, RAJA and Kokkos into the isolated
+// BoxLoops" (Section 4.10.1). Here BoxLoop is a function template over the
+// portability layer, and a PFMG-style geometric multigrid for 5-point
+// operators is built on top of it.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/view.hpp"
+
+namespace coe::amg {
+
+/// Index box [ilo, ihi) x [jlo, jhi) -- the hypre Box analog.
+struct Box2 {
+  std::size_t ilo = 0, ihi = 0;
+  std::size_t jlo = 0, jhi = 0;
+
+  std::size_t ni() const { return ihi - ilo; }
+  std::size_t nj() const { return jhi - jlo; }
+  std::size_t size() const { return ni() * nj(); }
+};
+
+/// The isolated BoxLoop: all structured kernels funnel through here, so a
+/// backend change is a one-line change for the whole structured stack.
+template <typename Body>
+void box_loop(core::ExecContext& ctx, const Box2& box, hsim::Workload w,
+              Body&& body) {
+  ctx.forall2(box.ni(), box.nj(), w,
+              [&](std::size_t di, std::size_t dj) {
+                body(box.ilo + di, box.jlo + dj);
+              });
+}
+
+/// 5-point constant-coefficient operator on an (nx+2)x(ny+2) array with a
+/// one-cell ghost frame (Dirichlet zeros live in the ghosts).
+struct StructStencil5 {
+  double center = 4.0;
+  double west = -1.0, east = -1.0, south = -1.0, north = -1.0;
+};
+
+/// PFMG-style geometric multigrid solving  A u = f  for the 5-point
+/// stencil on a structured grid, Jacobi-smoothed, full-weighting
+/// restriction, bilinear interpolation.
+struct StructOptions {
+  std::size_t pre_sweeps = 2;
+  std::size_t post_sweeps = 2;
+  double jacobi_weight = 0.8;
+  std::size_t coarse_size = 4;  ///< stop coarsening at this many cells/axis
+};
+
+class StructSolver {
+ public:
+  using Options = StructOptions;
+
+  StructSolver(std::size_t nx, std::size_t ny, StructStencil5 stencil,
+               Options opts = Options{});
+
+  std::size_t num_levels() const { return levels_.size(); }
+
+  /// Solves to rel_tol, returns V-cycles used. u and f are interior-sized
+  /// (nx*ny row-major), zero Dirichlet boundary.
+  std::size_t solve(core::ExecContext& ctx, std::span<const double> f,
+                    std::span<double> u, double rel_tol = 1e-8,
+                    std::size_t max_cycles = 60) const;
+
+  /// Residual 2-norm for given u, f.
+  double residual_norm(core::ExecContext& ctx, std::span<const double> f,
+                       std::span<const double> u) const;
+
+ private:
+  struct Level {
+    std::size_t nx, ny;                 // interior cells
+    StructStencil5 st;
+    mutable std::vector<double> u, f, r;  // ghosted (nx+2)*(ny+2)
+  };
+
+  void smooth(core::ExecContext& ctx, const Level& lev, std::size_t sweeps)
+      const;
+  void residual(core::ExecContext& ctx, const Level& lev) const;
+  void vcycle(core::ExecContext& ctx, std::size_t l) const;
+
+  Options opts_;
+  std::vector<Level> levels_;
+};
+
+}  // namespace coe::amg

@@ -1,0 +1,83 @@
+#include "amr/two_level.hpp"
+
+namespace coe::amr {
+
+namespace {
+
+EulerConfig refined(EulerConfig cfg, std::int64_t ratio) {
+  cfg.dx /= static_cast<double>(ratio);
+  cfg.dy /= static_cast<double>(ratio);
+  return cfg;
+}
+
+}  // namespace
+
+TwoLevelEuler::TwoLevelEuler(core::ExecContext& ctx, PatchLevel& coarse,
+                             PatchLevel& fine, std::int64_t ratio,
+                             EulerConfig coarse_cfg)
+    : coarse_(&coarse), fine_(&fine), ratio_(ratio),
+      coarse_solver_(ctx, coarse, coarse_cfg),
+      fine_solver_(ctx, fine, refined(coarse_cfg, ratio)) {}
+
+void TwoLevelEuler::init(
+    const std::function<PrimState(double, double)>& f_xy) {
+  coarse_solver_.init([&](std::int64_t i, std::int64_t j) {
+    return f_xy(static_cast<double>(i) + 0.5, static_cast<double>(j) + 0.5);
+  });
+  const double inv = 1.0 / static_cast<double>(ratio_);
+  fine_solver_.init([&](std::int64_t i, std::int64_t j) {
+    return f_xy((static_cast<double>(i) + 0.5) * inv,
+                (static_cast<double>(j) + 0.5) * inv);
+  });
+  t_ = 0.0;
+}
+
+double TwoLevelEuler::compute_dt() const {
+  const double dc = coarse_solver_.compute_dt();
+  const double df = fine_solver_.compute_dt() * static_cast<double>(ratio_);
+  return std::min(dc, df);
+}
+
+void TwoLevelEuler::fill_fine_from_coarse() {
+  for (std::size_t p = 0; p < fine_->num_patches(); ++p) {
+    for (const char* f :
+         {EulerSolver::kRho, EulerSolver::kMx, EulerSolver::kMy,
+          EulerSolver::kE}) {
+      prolong_into(*coarse_, fine_->patch(p), f, ratio_);
+    }
+  }
+}
+
+void TwoLevelEuler::step(double dt) {
+  coarse_solver_.step(dt);
+  const double fine_dt = dt / static_cast<double>(ratio_);
+  for (std::int64_t sub = 0; sub < ratio_; ++sub) {
+    fill_fine_from_coarse();
+    fine_solver_.step(fine_dt);
+  }
+  for (const char* f : {EulerSolver::kRho, EulerSolver::kMx,
+                        EulerSolver::kMy, EulerSolver::kE}) {
+    restrict_onto(*fine_, *coarse_, f, ratio_);
+  }
+  t_ += dt;
+}
+
+std::size_t TwoLevelEuler::advance(double t_end) {
+  std::size_t steps = 0;
+  while (t_ < t_end) {
+    double dt = compute_dt();
+    if (t_ + dt > t_end) dt = t_end - t_;
+    step(dt);
+    ++steps;
+  }
+  return steps;
+}
+
+PrimState TwoLevelEuler::best_at(std::int64_t ci, std::int64_t cj) const {
+  const std::int64_t fi = ci * ratio_ + ratio_ / 2;
+  const std::int64_t fj = cj * ratio_ + ratio_ / 2;
+  if (fine_->covers(fi, fj)) return fine_solver_.primitive_at(fi, fj);
+  return coarse_solver_.primitive_at(ci, cj);
+}
+
+}  // namespace coe::amr

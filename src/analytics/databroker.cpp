@@ -1,0 +1,88 @@
+#include "analytics/databroker.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coe::analytics {
+
+bool DataBroker::create_namespace(const std::string& ns) {
+  return spaces_.try_emplace(ns).second;
+}
+
+bool DataBroker::drop_namespace(const std::string& ns) {
+  auto it = spaces_.find(ns);
+  if (it == spaces_.end()) return false;
+  for (const auto& [k, v] : it->second) {
+    --stats_.live_objects;
+    stats_.live_bytes -= static_cast<double>(v.size()) * 8.0;
+  }
+  spaces_.erase(it);
+  return true;
+}
+
+std::vector<std::string> DataBroker::namespaces() const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : spaces_) out.push_back(k);
+  return out;
+}
+
+bool DataBroker::put(const std::string& ns, const std::string& key,
+                     std::vector<double> value) {
+  auto it = spaces_.find(ns);
+  if (it == spaces_.end()) return false;
+  ++stats_.puts;
+  const double bytes = static_cast<double>(value.size()) * 8.0;
+  stats_.bytes_in += bytes;
+  auto old = it->second.find(key);
+  if (old != it->second.end()) {
+    stats_.live_bytes -= static_cast<double>(old->second.size()) * 8.0;
+    old->second = std::move(value);
+  } else {
+    ++stats_.live_objects;
+    it->second.emplace(key, std::move(value));
+  }
+  stats_.live_bytes += bytes;
+  return true;
+}
+
+std::optional<std::vector<double>> DataBroker::get(const std::string& ns,
+                                                   const std::string& key) {
+  ++stats_.gets;
+  auto it = spaces_.find(ns);
+  if (it == spaces_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  auto vit = it->second.find(key);
+  if (vit == it->second.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  stats_.bytes_out += static_cast<double>(vit->second.size()) * 8.0;
+  return vit->second;
+}
+
+bool DataBroker::erase(const std::string& ns, const std::string& key) {
+  auto it = spaces_.find(ns);
+  if (it == spaces_.end()) return false;
+  auto vit = it->second.find(key);
+  if (vit == it->second.end()) return false;
+  --stats_.live_objects;
+  stats_.live_bytes -= static_cast<double>(vit->second.size()) * 8.0;
+  it->second.erase(vit);
+  return true;
+}
+
+double broker_exchange_time(double bytes_per_node,
+                            const hsim::ClusterModel& net, int nodes) {
+  if (nodes <= 1) return 0.0;
+  // Every node writes its slice and reads the merged result; the broker's
+  // aggregate ingest bandwidth is the full bisection, so the exchange is
+  // two bandwidth-bound phases plus per-node latencies.
+  const double per_phase =
+      net.alpha + net.beta * bytes_per_node;
+  return 2.0 * per_phase + net.alpha * std::log2(std::max(nodes, 2));
+}
+
+}  // namespace coe::analytics

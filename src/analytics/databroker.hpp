@@ -1,0 +1,58 @@
+#pragma once
+// The IBM Data Broker substitute (Section 4.4): "The Data Broker provides
+// common shared, in-memory storage" [25], explored as a Spark adapter to
+// scale topic modeling further. A namespaced key-value store with
+// byte-level accounting so the Spark cost model can compare
+// broker-mediated exchange against the shuffle path.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace coe::analytics {
+
+class DataBroker {
+ public:
+  struct Stats {
+    std::size_t puts = 0;
+    std::size_t gets = 0;
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    double bytes_in = 0.0;
+    double bytes_out = 0.0;
+    std::size_t live_objects = 0;
+    double live_bytes = 0.0;
+  };
+
+  /// Creates (or opens) a namespace; returns false if it already existed.
+  bool create_namespace(const std::string& ns);
+  bool drop_namespace(const std::string& ns);
+  std::vector<std::string> namespaces() const;
+
+  /// Stores a value (overwrites). Returns false for an unknown namespace.
+  bool put(const std::string& ns, const std::string& key,
+           std::vector<double> value);
+  /// Reads a value; nullopt on miss.
+  std::optional<std::vector<double>> get(const std::string& ns,
+                                         const std::string& key);
+  bool erase(const std::string& ns, const std::string& key);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::map<std::string, std::map<std::string, std::vector<double>>> spaces_;
+  Stats stats_;
+};
+
+/// Cost of exchanging per-iteration LDA statistics through the broker:
+/// every worker puts its slice once and gets the merged model once, so the
+/// wire volume is 2 * bytes_per_node * nodes regardless of pair count --
+/// versus the O(nodes^2) pairwise shuffle.
+double broker_exchange_time(double bytes_per_node,
+                            const hsim::ClusterModel& net, int nodes);
+
+}  // namespace coe::analytics

@@ -1,0 +1,240 @@
+#include "analytics/lda.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace coe::analytics {
+
+double digamma(double x) {
+  // Shift into the asymptotic regime, then the standard series.
+  double result = 0.0;
+  while (x < 10.0) {
+    result -= 1.0 / x;
+    x += 1.0;
+  }
+  const double inv = 1.0 / x;
+  const double inv2 = inv * inv;
+  result += std::log(x) - 0.5 * inv -
+            inv2 * (1.0 / 12.0 - inv2 * (1.0 / 120.0 - inv2 / 252.0));
+  return result;
+}
+
+Corpus generate_corpus(const CorpusConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  Corpus corpus;
+  corpus.vocab = cfg.vocab;
+  corpus.true_topics = cfg.topics;
+
+  // Zipf base measure over the vocabulary.
+  std::vector<double> base(cfg.vocab);
+  double zsum = 0.0;
+  for (std::size_t w = 0; w < cfg.vocab; ++w) {
+    base[w] = 1.0 / std::pow(static_cast<double>(w + 1), cfg.zipf_s);
+    zsum += base[w];
+  }
+  for (auto& b : base) b /= zsum;
+
+  // Topic-word distributions: Dirichlet(eta * vocab * base) -- sparse,
+  // Zipf-flavored topics.
+  corpus.true_beta.assign(cfg.topics * cfg.vocab, 0.0);
+  for (std::size_t k = 0; k < cfg.topics; ++k) {
+    double rowsum = 0.0;
+    for (std::size_t w = 0; w < cfg.vocab; ++w) {
+      const double shape =
+          cfg.topic_eta * static_cast<double>(cfg.vocab) * base[w];
+      const double g = rng.gamma(std::max(shape, 1e-3), 1.0);
+      corpus.true_beta[k * cfg.vocab + w] = g;
+      rowsum += g;
+    }
+    for (std::size_t w = 0; w < cfg.vocab; ++w) {
+      corpus.true_beta[k * cfg.vocab + w] /= rowsum;
+    }
+  }
+
+  // Documents.
+  corpus.docs.resize(cfg.docs);
+  std::vector<double> theta(cfg.topics);
+  std::vector<double> word_cdf(cfg.vocab);
+  for (auto& doc : corpus.docs) {
+    // theta ~ Dirichlet(alpha).
+    double tsum = 0.0;
+    for (auto& t : theta) {
+      t = rng.gamma(cfg.doc_alpha, 1.0);
+      tsum += t;
+    }
+    for (auto& t : theta) t /= tsum;
+    // Mixture word distribution for this document.
+    for (std::size_t w = 0; w < cfg.vocab; ++w) {
+      double p = 0.0;
+      for (std::size_t k = 0; k < cfg.topics; ++k) {
+        p += theta[k] * corpus.true_beta[k * cfg.vocab + w];
+      }
+      word_cdf[w] = p + (w > 0 ? word_cdf[w - 1] : 0.0);
+    }
+    std::map<std::uint32_t, double> bag;
+    for (std::size_t n = 0; n < cfg.words_per_doc; ++n) {
+      const double u = rng.uniform() * word_cdf.back();
+      const auto it =
+          std::lower_bound(word_cdf.begin(), word_cdf.end(), u);
+      bag[static_cast<std::uint32_t>(it - word_cdf.begin())] += 1.0;
+    }
+    for (const auto& [w, c] : bag) {
+      doc.words.push_back(w);
+      doc.counts.push_back(c);
+    }
+  }
+  return corpus;
+}
+
+LdaModel::LdaModel(std::size_t vocab, const LdaConfig& cfg)
+    : vocab_(vocab), cfg_(cfg), beta_(cfg.topics * vocab) {
+  core::Rng rng(cfg.seed);
+  for (std::size_t k = 0; k < cfg_.topics; ++k) {
+    double sum = 0.0;
+    for (std::size_t w = 0; w < vocab_; ++w) {
+      beta_[k * vocab_ + w] = rng.uniform(0.5, 1.5);
+      sum += beta_[k * vocab_ + w];
+    }
+    for (std::size_t w = 0; w < vocab_; ++w) beta_[k * vocab_ + w] /= sum;
+  }
+}
+
+std::vector<double> LdaModel::infer_document(const Document& doc) const {
+  const std::size_t k = cfg_.topics;
+  std::vector<double> gamma(k, cfg_.alpha + doc.total() /
+                                                static_cast<double>(k));
+  std::vector<double> phi(k);
+  for (std::size_t it = 0; it < cfg_.e_step_iters; ++it) {
+    std::vector<double> gnew(k, cfg_.alpha);
+    std::vector<double> eg(k);
+    for (std::size_t t = 0; t < k; ++t) eg[t] = std::exp(digamma(gamma[t]));
+    for (std::size_t n = 0; n < doc.words.size(); ++n) {
+      const std::uint32_t w = doc.words[n];
+      double norm = 0.0;
+      for (std::size_t t = 0; t < k; ++t) {
+        phi[t] = beta_[t * vocab_ + w] * eg[t];
+        norm += phi[t];
+      }
+      if (norm <= 0.0) continue;
+      for (std::size_t t = 0; t < k; ++t) {
+        gnew[t] += doc.counts[n] * phi[t] / norm;
+      }
+    }
+    gamma = std::move(gnew);
+  }
+  return gamma;
+}
+
+void LdaModel::accumulate(const Corpus& corpus, std::size_t doc_begin,
+                          std::size_t doc_end,
+                          std::span<double> stats) const {
+  const std::size_t k = cfg_.topics;
+  std::vector<double> phi(k);
+  for (std::size_t d = doc_begin; d < doc_end && d < corpus.docs.size();
+       ++d) {
+    const auto& doc = corpus.docs[d];
+    auto gamma = infer_document(doc);
+    std::vector<double> eg(k);
+    for (std::size_t t = 0; t < k; ++t) eg[t] = std::exp(digamma(gamma[t]));
+    for (std::size_t n = 0; n < doc.words.size(); ++n) {
+      const std::uint32_t w = doc.words[n];
+      double norm = 0.0;
+      for (std::size_t t = 0; t < k; ++t) {
+        phi[t] = beta_[t * vocab_ + w] * eg[t];
+        norm += phi[t];
+      }
+      if (norm <= 0.0) continue;
+      for (std::size_t t = 0; t < k; ++t) {
+        stats[t * vocab_ + w] += doc.counts[n] * phi[t] / norm;
+      }
+    }
+  }
+}
+
+void LdaModel::m_step(std::span<const double> merged_stats) {
+  const std::size_t k = cfg_.topics;
+  for (std::size_t t = 0; t < k; ++t) {
+    double sum = 0.0;
+    for (std::size_t w = 0; w < vocab_; ++w) {
+      sum += merged_stats[t * vocab_ + w] + cfg_.eta;
+    }
+    for (std::size_t w = 0; w < vocab_; ++w) {
+      beta_[t * vocab_ + w] = (merged_stats[t * vocab_ + w] + cfg_.eta) / sum;
+    }
+  }
+}
+
+double LdaModel::em_iteration(const Corpus& corpus) {
+  auto stats = make_stats();
+  accumulate(corpus, 0, corpus.docs.size(), stats);
+  m_step(stats);
+  return perplexity(corpus);
+}
+
+std::vector<double> LdaModel::train(const Corpus& corpus,
+                                    std::size_t iters) {
+  std::vector<double> trace;
+  trace.reserve(iters);
+  for (std::size_t i = 0; i < iters; ++i) {
+    trace.push_back(em_iteration(corpus));
+  }
+  return trace;
+}
+
+double LdaModel::perplexity(const Corpus& corpus) const {
+  const std::size_t k = cfg_.topics;
+  double loglik = 0.0, nwords = 0.0;
+  for (const auto& doc : corpus.docs) {
+    auto gamma = infer_document(doc);
+    double gsum = 0.0;
+    for (double g : gamma) gsum += g;
+    for (std::size_t n = 0; n < doc.words.size(); ++n) {
+      const std::uint32_t w = doc.words[n];
+      double p = 0.0;
+      for (std::size_t t = 0; t < k; ++t) {
+        p += (gamma[t] / gsum) * beta_[t * vocab_ + w];
+      }
+      loglik += doc.counts[n] * std::log(std::max(p, 1e-300));
+      nwords += doc.counts[n];
+    }
+  }
+  return std::exp(-loglik / nwords);
+}
+
+double topic_recovery_score(const LdaModel& model, const Corpus& corpus) {
+  const std::size_t kt = corpus.true_topics;
+  const std::size_t km = model.topics();
+  const std::size_t v = corpus.vocab;
+  auto cosine = [&](std::size_t truek, std::size_t modelk) {
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (std::size_t w = 0; w < v; ++w) {
+      const double a = corpus.true_beta[truek * v + w];
+      const double b = model.beta(modelk, w);
+      dot += a * b;
+      na += a * a;
+      nb += b * b;
+    }
+    return dot / std::sqrt(na * nb);
+  };
+  // Greedy best matching.
+  std::vector<bool> used(km, false);
+  double total = 0.0;
+  for (std::size_t t = 0; t < kt; ++t) {
+    double best = -1.0;
+    std::size_t best_m = 0;
+    for (std::size_t m = 0; m < km; ++m) {
+      if (used[m]) continue;
+      const double c = cosine(t, m);
+      if (c > best) {
+        best = c;
+        best_m = m;
+      }
+    }
+    used[best_m] = true;
+    total += best;
+  }
+  return total / static_cast<double>(kt);
+}
+
+}  // namespace coe::analytics

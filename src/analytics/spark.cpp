@@ -1,0 +1,62 @@
+#include "analytics/spark.hpp"
+
+#include <cmath>
+
+namespace coe::analytics {
+
+SparkStack default_stack() {
+  SparkStack s;
+  s.name = "default (HotSpot + stock Spark)";
+  s.gc_overhead = 0.30;
+  s.serde_bytes_per_sec = 0.8e9;
+  s.adaptive_shuffle = false;
+  s.tree_aggregate = false;
+  return s;
+}
+
+SparkStack optimized_stack() {
+  SparkStack s;
+  s.name = "optimized (OpenJ9 + adaptive shuffle)";
+  s.gc_overhead = 0.08;        // improved GC and lock contention schemes
+  s.serde_bytes_per_sec = 2.4e9;  // reduced ser/deser overheads
+  s.adaptive_shuffle = true;
+  s.tree_aggregate = true;
+  return s;
+}
+
+StageBreakdown cost_iteration(const LdaIterationProfile& prof,
+                              const SparkStack& stack,
+                              const hsim::MachineModel& node,
+                              const hsim::ClusterModel& net, int nodes) {
+  StageBreakdown b;
+  b.compute = prof.compute_flops_per_node / node.flops();
+  b.jvm = stack.gc_overhead * b.compute;
+
+  const double shuffled_total =
+      prof.shuffle_bytes_per_pair * static_cast<double>(nodes - 1);
+  b.serde = 2.0 * shuffled_total / stack.serde_bytes_per_sec;
+
+  if (stack.adaptive_shuffle) {
+    // Memory-optimized shuffle: aggregation before exchange roughly
+    // halves the data and pipelines the rounds (log p latency).
+    const double bytes = 0.5 * prof.shuffle_bytes_per_pair;
+    b.shuffle = std::log2(std::max(nodes, 2)) * net.alpha +
+                net.beta * bytes * static_cast<double>(nodes - 1);
+    b.serde *= 0.5;
+  } else {
+    b.shuffle = net.alltoall(
+        static_cast<std::size_t>(prof.shuffle_bytes_per_pair), nodes);
+  }
+
+  if (stack.tree_aggregate) {
+    // Tree reduction: log p rounds of one node's worth of data.
+    b.aggregate = std::log2(std::max(nodes, 2)) *
+                  (net.alpha + net.beta * prof.aggregate_bytes_per_node);
+  } else {
+    b.aggregate = net.gather(
+        static_cast<std::size_t>(prof.aggregate_bytes_per_node), nodes);
+  }
+  return b;
+}
+
+}  // namespace coe::analytics

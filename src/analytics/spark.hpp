@@ -1,0 +1,54 @@
+#pragma once
+// Spark-stage cost simulator for the SparkPlug LDA runs of Figure 2. The
+// paper's profiling found three bottlenecks -- JVM overheads (GC, lock
+// contention, serialization), the shuffle (all-to-all), and the aggregate
+// (all-to-one) -- and three fixes: the optimized JVM (OpenJ9), an adaptive
+// shuffle, and scalable all-to-one operations. Each stage is costed from
+// the real LDA iteration's measured compute and sufficient-statistics
+// sizes.
+
+#include <string>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace coe::analytics {
+
+/// Which software stack the job runs on.
+struct SparkStack {
+  std::string name;
+  double gc_overhead = 0.25;       ///< fraction of compute lost to GC/locks
+  double serde_bytes_per_sec = 0.8e9;  ///< serialization throughput
+  bool adaptive_shuffle = false;   ///< memory-optimized shuffle [20, 21]
+  bool tree_aggregate = false;     ///< scalable all-to-one
+};
+
+SparkStack default_stack();
+SparkStack optimized_stack();
+
+/// One LDA iteration's inputs to the cost model.
+struct LdaIterationProfile {
+  double compute_flops_per_node = 0.0;  ///< E-step work per executor
+  double shuffle_bytes_per_pair = 0.0;  ///< stats exchanged between nodes
+  double aggregate_bytes_per_node = 0.0;///< stats gathered to the driver
+};
+
+/// Per-phase times for one iteration on `nodes` executors.
+struct StageBreakdown {
+  double compute = 0.0;
+  double jvm = 0.0;       ///< GC + lock contention
+  double serde = 0.0;     ///< serialization/deserialization
+  double shuffle = 0.0;
+  double aggregate = 0.0;
+
+  double total() const {
+    return compute + jvm + serde + shuffle + aggregate;
+  }
+};
+
+StageBreakdown cost_iteration(const LdaIterationProfile& prof,
+                              const SparkStack& stack,
+                              const hsim::MachineModel& node,
+                              const hsim::ClusterModel& net, int nodes);
+
+}  // namespace coe::analytics

@@ -1,0 +1,40 @@
+#pragma once
+// Complex FFT built from scratch (the cuFFT substitute for VBL, Section
+// 4.11): iterative radix-2 Cooley-Tukey for power-of-two sizes, Bluestein's
+// chirp-z for everything else, and a row-column 2D transform whose
+// transpose step is pluggable (the paper's RAJA-vs-native-CUDA transpose
+// comparison).
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace coe::beamline {
+
+using cplx = std::complex<double>;
+
+/// In-place forward/inverse FFT of arbitrary length (inverse includes the
+/// 1/n normalization). Charges ~5 n log2 n flops to the context.
+void fft(core::ExecContext& ctx, std::vector<cplx>& a, bool inverse);
+
+/// Out-of-place naive DFT (O(n^2)) -- test oracle only.
+std::vector<cplx> dft_reference(const std::vector<cplx>& a, bool inverse);
+
+enum class TransposeKind { Naive, Tiled };
+
+/// Square/rectangular transpose of row-major [rows x cols] into
+/// [cols x rows]. Tiled variant blocks for locality (32x32 tiles), the
+/// "native CUDA transpose"; naive strides the full matrix, the "RAJA
+/// transpose" that lost (Section 4.11).
+void transpose(core::ExecContext& ctx, const std::vector<cplx>& in,
+               std::vector<cplx>& out, std::size_t rows, std::size_t cols,
+               TransposeKind kind);
+
+/// 2D FFT on row-major [n x n] data via row FFTs + transpose + row FFTs +
+/// transpose.
+void fft2d(core::ExecContext& ctx, std::vector<cplx>& a, std::size_t n,
+           bool inverse, TransposeKind kind = TransposeKind::Tiled);
+
+}  // namespace coe::beamline

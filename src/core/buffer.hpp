@@ -1,0 +1,126 @@
+#pragma once
+// Dual-residency array. On real heterogeneous nodes this is the
+// cudaMalloc/cudaMemcpy (or Unified Memory) story the paper's teams wrestled
+// with; here a single host allocation backs both "copies" and the context
+// records the transfers a real node would have performed.
+//
+// UnifiedBuffer models CUDA Unified Memory the way Section 4.11 describes
+// it: migrations happen in 64 KiB blocks on first touch from the other side.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace coe::core {
+
+template <typename T>
+class Buffer {
+ public:
+  Buffer(ExecContext& ctx, std::size_t n, T init = T{})
+      : ctx_(&ctx), data_(n, init), valid_(Loc::Both) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+
+  /// Read-only host access; pulls data back from the device if needed.
+  std::span<const T> host_read() {
+    if (valid_ == Loc::Device) {
+      ctx_->record_transfer(static_cast<double>(bytes()), /*to_device=*/false);
+      valid_ = Loc::Both;
+    }
+    return {data_.data(), data_.size()};
+  }
+
+  /// Mutable host access; invalidates the device copy.
+  std::span<T> host_write() {
+    (void)host_read();
+    valid_ = Loc::Host;
+    return {data_.data(), data_.size()};
+  }
+
+  /// Read-only device access; uploads if the host copy is newer.
+  std::span<const T> device_read() {
+    if (valid_ == Loc::Host) {
+      ctx_->record_transfer(static_cast<double>(bytes()), /*to_device=*/true);
+      valid_ = Loc::Both;
+    }
+    return {data_.data(), data_.size()};
+  }
+
+  /// Mutable device access; invalidates the host copy.
+  std::span<T> device_write() {
+    (void)device_read();
+    valid_ = Loc::Device;
+    return {data_.data(), data_.size()};
+  }
+
+  /// Access on whichever side the context executes (the common idiom).
+  std::span<T> write(ExecContext& ctx) {
+    return ctx.on_device() ? device_write() : host_write();
+  }
+  std::span<const T> read(ExecContext& ctx) {
+    return ctx.on_device() ? device_read() : host_read();
+  }
+
+ private:
+  enum class Loc { Host, Device, Both };
+
+  ExecContext* ctx_;
+  std::vector<T> data_;
+  Loc valid_;
+};
+
+/// Unified-memory style buffer: accesses from the "wrong" side migrate the
+/// touched 64 KiB blocks rather than the whole allocation.
+template <typename T>
+class UnifiedBuffer {
+ public:
+  static constexpr std::size_t kPageBytes = 64 * 1024;
+
+  UnifiedBuffer(ExecContext& ctx, std::size_t n, T init = T{})
+      : ctx_(&ctx), data_(n, init) {
+    const std::size_t pages = (bytes() + kPageBytes - 1) / kPageBytes;
+    on_device_.assign(pages ? pages : 1, false);
+  }
+
+  std::size_t size() const { return data_.size(); }
+  std::size_t bytes() const { return data_.size() * sizeof(T); }
+  std::size_t pages() const { return on_device_.size(); }
+
+  /// Touch elements [lo, hi) from the host; migrates device-resident pages.
+  std::span<T> host_touch(std::size_t lo, std::size_t hi) {
+    migrate(lo, hi, /*to_device=*/false);
+    return {data_.data() + lo, hi - lo};
+  }
+
+  /// Touch elements [lo, hi) from the device; migrates host-resident pages.
+  std::span<T> device_touch(std::size_t lo, std::size_t hi) {
+    migrate(lo, hi, /*to_device=*/true);
+    return {data_.data() + lo, hi - lo};
+  }
+
+  std::span<T> all() { return {data_.data(), data_.size()}; }
+
+ private:
+  void migrate(std::size_t lo, std::size_t hi, bool to_device) {
+    assert(lo <= hi && hi <= data_.size());
+    const std::size_t p0 = lo * sizeof(T) / kPageBytes;
+    const std::size_t p1 =
+        hi == lo ? p0 : ((hi * sizeof(T) - 1) / kPageBytes + 1);
+    for (std::size_t p = p0; p < p1 && p < on_device_.size(); ++p) {
+      if (on_device_[p] != to_device) {
+        ctx_->record_transfer(static_cast<double>(kPageBytes), to_device);
+        on_device_[p] = to_device;
+      }
+    }
+  }
+
+  ExecContext* ctx_;
+  std::vector<T> data_;
+  std::vector<bool> on_device_;
+};
+
+}  // namespace coe::core

@@ -1,0 +1,46 @@
+#include "core/cost.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace coe::hsim {
+
+void Timeline::add(const std::string& name, double seconds,
+                   const Counters& c) {
+  for (auto& p : phases_) {
+    if (p.name == name) {
+      p.seconds += seconds;
+      p.counters += c;
+      return;
+    }
+  }
+  phases_.push_back(Phase{name, seconds, c});
+}
+
+double Timeline::total() const {
+  double t = 0.0;
+  for (const auto& p : phases_) t += p.seconds;
+  return t;
+}
+
+std::string Timeline::report(const std::string& title) const {
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::left << std::setw(28) << "  phase" << std::right << std::setw(14)
+     << "time (s)" << std::setw(10) << "share" << std::setw(14) << "GFLOP"
+     << std::setw(14) << "GB moved" << "\n";
+  const double tot = total();
+  for (const auto& p : phases_) {
+    os << std::left << std::setw(28) << ("  " + p.name) << std::right
+       << std::setw(14) << std::scientific << std::setprecision(3) << p.seconds
+       << std::setw(9) << std::fixed << std::setprecision(1)
+       << (tot > 0 ? 100.0 * p.seconds / tot : 0.0) << "%" << std::setw(14)
+       << std::setprecision(3) << p.counters.flops / 1e9 << std::setw(14)
+       << p.counters.bytes / 1e9 << "\n";
+  }
+  os << std::left << std::setw(28) << "  total" << std::right << std::setw(14)
+     << std::scientific << std::setprecision(3) << tot << "\n";
+  return os.str();
+}
+
+}  // namespace coe::hsim

@@ -1,0 +1,206 @@
+#pragma once
+// The portability layer the iCoE workload shares: a RAJA-style `forall`
+// over pluggable backends. The Seq and Threads backends execute on the real
+// host; the Device backend *also* executes on the host (all numerics are
+// real) but charges time to an attached GPU machine model — the simulated
+// heterogeneous node this reproduction targets (DESIGN.md section 2).
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/machine.hpp"
+#include "core/threadpool.hpp"
+
+namespace coe::core {
+
+enum class Backend {
+  Seq,      ///< serial host execution
+  Threads,  ///< host thread-pool execution (the OpenMP analog)
+  Device,   ///< host execution, GPU-model time accounting (the CUDA analog)
+};
+
+inline const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::Seq: return "seq";
+    case Backend::Threads: return "threads";
+    case Backend::Device: return "device";
+  }
+  return "?";
+}
+
+/// Execution resource: a backend plus the machine model it charges time to.
+/// Every kernel launch, reduction, and buffer transfer updates this
+/// context's counters, simulated clock, and current timeline phase.
+class ExecContext {
+ public:
+  /// Host-only context charging time to `host_model`.
+  explicit ExecContext(Backend backend = Backend::Seq,
+                       hsim::MachineModel model = hsim::machines::host())
+      : backend_(backend), model_(std::move(model)) {}
+
+  Backend backend() const { return backend_; }
+  const hsim::CostModel& model() const { return model_; }
+  bool on_device() const { return backend_ == Backend::Device; }
+
+  hsim::Counters& counters() { return counters_; }
+  const hsim::Counters& counters() const { return counters_; }
+
+  /// Simulated seconds accumulated so far on the modeled machine.
+  double simulated_time() const { return sim_time_; }
+  void reset() {
+    counters_.reset();
+    sim_time_ = 0.0;
+    timeline_.clear();
+  }
+
+  hsim::Timeline& timeline() { return timeline_; }
+  /// Subsequent launches/transfers accrue to this named timeline phase.
+  void set_phase(std::string name) { phase_ = std::move(name); }
+  const std::string& phase() const { return phase_; }
+
+  /// RAJA-style parallel loop over [0, n). `w` annotates per-iteration work
+  /// so the machine model can price the launch.
+  template <typename Body>
+  void forall(std::size_t n, hsim::Workload w, Body&& body) {
+    launch_begin();
+    if (backend_ == Backend::Threads) {
+      global_pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      });
+    } else {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+    }
+    launch_end(hsim::total(w, n));
+  }
+
+  /// Convenience overload with no work annotation (zero-cost bookkeeping
+  /// launch; still counts the launch overhead).
+  template <typename Body>
+  void forall(std::size_t n, Body&& body) {
+    forall(n, hsim::Workload{}, std::forward<Body>(body));
+  }
+
+  /// Nested 2D loop, collapsed for the pool backend.
+  template <typename Body>
+  void forall2(std::size_t ni, std::size_t nj, hsim::Workload w, Body&& body) {
+    forall(ni * nj, w, [&, nj](std::size_t idx) {
+      body(idx / nj, idx % nj);
+    });
+  }
+
+  /// Nested 3D loop, collapsed for the pool backend.
+  template <typename Body>
+  void forall3(std::size_t ni, std::size_t nj, std::size_t nk,
+               hsim::Workload w, Body&& body) {
+    forall(ni * nj * nk, w, [&, nj, nk](std::size_t idx) {
+      const std::size_t i = idx / (nj * nk);
+      const std::size_t rem = idx % (nj * nk);
+      body(i, rem / nk, rem % nk);
+    });
+  }
+
+  /// Sum reduction: body(i) returns each iterate's contribution.
+  template <typename Body>
+  double reduce_sum(std::size_t n, hsim::Workload w, Body&& body) {
+    launch_begin();
+    double sum = 0.0;
+    if (backend_ == Backend::Threads) {
+      std::vector<double> partial(global_pool().size(), 0.0);
+      std::atomic<std::size_t> next{0};
+      global_pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+        double s = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) s += body(i);
+        partial[next.fetch_add(1)] += s;
+      });
+      for (double s : partial) sum += s;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) sum += body(i);
+    }
+    launch_end(hsim::total(w, n));
+    return sum;
+  }
+
+  /// Max reduction.
+  template <typename Body>
+  double reduce_max(std::size_t n, hsim::Workload w, Body&& body) {
+    launch_begin();
+    double m = -1.7976931348623157e308;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = body(i);
+      if (v > m) m = v;
+    }
+    launch_end(hsim::total(w, n));
+    return m;
+  }
+
+  /// Attaches a shadow machine: every subsequent kernel/transfer is also
+  /// priced per-kernel on it, so one real run yields times for several
+  /// machines. Returns the shadow's index for shadow_time().
+  std::size_t add_shadow(hsim::MachineModel m) {
+    shadows_.emplace_back(hsim::CostModel(std::move(m)), 0.0);
+    return shadows_.size() - 1;
+  }
+  double shadow_time(std::size_t i) const { return shadows_[i].second; }
+
+  /// Records a host<->device transfer of `bytes` (h2d if `to_device`).
+  void record_transfer(double bytes, bool to_device) {
+    counters_.transfers += 1;
+    if (to_device) {
+      counters_.h2d_bytes += bytes;
+    } else {
+      counters_.d2h_bytes += bytes;
+    }
+    const double t = model_.transfer_time(bytes);
+    sim_time_ += t;
+    timeline_.add(phase_, t);
+    for (auto& s : shadows_) s.second += s.first.transfer_time(bytes);
+  }
+
+  /// Charges an explicit cost (for kernels not expressible as forall).
+  void record_kernel(const hsim::KernelCost& c) {
+    launch_begin();
+    launch_end(c);
+  }
+
+ private:
+  void launch_begin() {}
+
+  void launch_end(const hsim::KernelCost& c) {
+    counters_.launches += 1;
+    counters_.flops += c.flops;
+    counters_.bytes += c.bytes;
+    const double t = model_.kernel_time(c);
+    sim_time_ += t;
+    hsim::Counters delta;
+    delta.launches = 1;
+    delta.flops = c.flops;
+    delta.bytes = c.bytes;
+    timeline_.add(phase_, t, delta);
+    for (auto& s : shadows_) s.second += s.first.kernel_time(c);
+  }
+
+  Backend backend_;
+  std::vector<std::pair<hsim::CostModel, double>> shadows_;
+  hsim::CostModel model_;
+  hsim::Counters counters_;
+  hsim::Timeline timeline_;
+  double sim_time_ = 0.0;
+  std::string phase_ = "main";
+};
+
+/// Factory helpers for the machines the paper reports on.
+inline ExecContext make_seq() { return ExecContext(Backend::Seq); }
+inline ExecContext make_threads() { return ExecContext(Backend::Threads); }
+inline ExecContext make_device(hsim::MachineModel m = hsim::machines::v100()) {
+  return ExecContext(Backend::Device, std::move(m));
+}
+inline ExecContext make_cpu(hsim::MachineModel m = hsim::machines::power9()) {
+  return ExecContext(Backend::Seq, std::move(m));
+}
+
+}  // namespace coe::core

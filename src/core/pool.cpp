@@ -1,0 +1,46 @@
+#include "core/pool.hpp"
+
+#include <bit>
+
+namespace coe::core {
+
+MemoryPool::~MemoryPool() = default;
+
+std::size_t MemoryPool::size_class(std::size_t bytes) {
+  if (bytes < 8) bytes = 8;
+  return std::bit_width(bytes - 1);  // smallest k with 2^k >= bytes
+}
+
+void* MemoryPool::allocate(std::size_t bytes) {
+  const std::size_t k = size_class(bytes);
+  const std::size_t rounded = std::size_t{1} << k;
+  ++stats_.request_count;
+  stats_.bytes_requested += bytes;
+  stats_.current_bytes += rounded;
+  if (stats_.current_bytes > stats_.highwater_bytes) {
+    stats_.highwater_bytes = stats_.current_bytes;
+  }
+  auto& list = free_[k];
+  if (!list.empty()) {
+    ++stats_.reuse_count;
+    auto block = std::move(list.back());
+    list.pop_back();
+    return block.release();
+  }
+  ++stats_.backing_allocs;
+  stats_.bytes_backed += rounded;
+  return new std::byte[rounded];
+}
+
+void MemoryPool::deallocate(void* p, std::size_t bytes) {
+  if (p == nullptr) return;
+  const std::size_t k = size_class(bytes);
+  stats_.current_bytes -= std::size_t{1} << k;
+  free_[k].emplace_back(static_cast<std::byte*>(p));
+}
+
+void MemoryPool::release() {
+  for (auto& list : free_) list.clear();
+}
+
+}  // namespace coe::core

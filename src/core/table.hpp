@@ -1,0 +1,70 @@
+#pragma once
+// Fixed-width table printer so every bench binary emits the paper's tables
+// in a uniform, diffable format.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace coe::core {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  /// Formats a double with `prec` significant-ish digits, trimming noise.
+  static std::string num(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  static std::string sci(double v, int prec = 3) {
+    std::ostringstream os;
+    os << std::scientific << std::setprecision(prec) << v;
+    return os.str();
+  }
+
+  std::string str() const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        if (r[c].size() > width[c]) width[c] = r[c].size();
+      }
+    }
+    std::ostringstream os;
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        os << "| " << std::left << std::setw(static_cast<int>(width[c]))
+           << (c < cells.size() ? cells[c] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << "|" << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const { os << str(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coe::core

@@ -1,0 +1,80 @@
+#include "core/threadpool.hpp"
+
+namespace coe::core {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads ? threads : std::thread::hardware_concurrency();
+  if (n == 0) n = 1;
+  // The calling thread acts as worker 0; spawn the rest.
+  for (std::size_t i = 1; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mtx_);
+    stop_ = true;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, size());
+  auto chunk_range = [n, chunks](std::size_t c) {
+    const std::size_t lo = n * c / chunks;
+    const std::size_t hi = n * (c + 1) / chunks;
+    return std::pair<std::size_t, std::size_t>(lo, hi);
+  };
+
+  if (chunks == 1 || workers_.empty()) {
+    fn(0, n);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(mtx_);
+    job_ = Job{&fn, n, chunks};
+    pending_ = chunks - 1;  // workers handle chunks 1..chunks-1
+    ++generation_;
+  }
+  cv_start_.notify_all();
+
+  auto [lo, hi] = chunk_range(0);
+  fn(lo, hi);
+
+  std::unique_lock<std::mutex> lk(mtx_);
+  cv_done_.wait(lk, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lk(mtx_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      seen = generation_;
+      if (stop_) return;
+      job = job_;
+    }
+    if (job.fn != nullptr && id < job.chunks) {
+      const std::size_t lo = job.n * id / job.chunks;
+      const std::size_t hi = job.n * (id + 1) / job.chunks;
+      (*job.fn)(lo, hi);
+      std::lock_guard<std::mutex> lk(mtx_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace coe::core

@@ -1,0 +1,53 @@
+#pragma once
+// Minimal blocking-fork-join thread pool used by the Threads backend.
+// Workers are created once and parked on a condition variable; parallel_for
+// partitions [0, n) into contiguous chunks, one per worker.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace coe::core {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs fn(begin, end) on contiguous chunks of [0, n), blocking until all
+  /// chunks complete. The calling thread executes one chunk itself.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t id);
+
+  struct Job {
+    const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+    std::size_t n = 0;
+    std::size_t chunks = 0;
+  };
+
+  std::vector<std::thread> workers_;
+  std::mutex mtx_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  Job job_;
+  std::size_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by all Threads-backend contexts.
+ThreadPool& global_pool();
+
+}  // namespace coe::core

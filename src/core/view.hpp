@@ -1,0 +1,64 @@
+#pragma once
+// Lightweight non-owning multi-dimensional accessors (row-major), the
+// RAJA::View analog used throughout the mini-apps.
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+
+namespace coe::core {
+
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, std::size_t ni, std::size_t nj)
+      : data_(data), ni_(ni), nj_(nj) {}
+  View2D(std::span<T> data, std::size_t ni, std::size_t nj)
+      : View2D(data.data(), ni, nj) {
+    assert(data.size() >= ni * nj);
+  }
+
+  T& operator()(std::size_t i, std::size_t j) const {
+    assert(i < ni_ && j < nj_);
+    return data_[i * nj_ + j];
+  }
+
+  std::size_t extent0() const { return ni_; }
+  std::size_t extent1() const { return nj_; }
+  std::size_t size() const { return ni_ * nj_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t ni_ = 0, nj_ = 0;
+};
+
+template <typename T>
+class View3D {
+ public:
+  View3D() = default;
+  View3D(T* data, std::size_t ni, std::size_t nj, std::size_t nk)
+      : data_(data), ni_(ni), nj_(nj), nk_(nk) {}
+  View3D(std::span<T> data, std::size_t ni, std::size_t nj, std::size_t nk)
+      : View3D(data.data(), ni, nj, nk) {
+    assert(data.size() >= ni * nj * nk);
+  }
+
+  T& operator()(std::size_t i, std::size_t j, std::size_t k) const {
+    assert(i < ni_ && j < nj_ && k < nk_);
+    return data_[(i * nj_ + j) * nk_ + k];
+  }
+
+  std::size_t extent0() const { return ni_; }
+  std::size_t extent1() const { return nj_; }
+  std::size_t extent2() const { return nk_; }
+  std::size_t size() const { return ni_ * nj_ * nk_; }
+  T* data() const { return data_; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t ni_ = 0, nj_ = 0, nk_ = 0;
+};
+
+}  // namespace coe::core

@@ -1,0 +1,71 @@
+#pragma once
+// ParaDyn's compiler experiment in miniature (Section 4.8 / Figure 6).
+// ParaDyn "contains many small loops" whose intermediates stay cache
+// resident on CPUs but thrash GPU global memory. The IBM XL work added:
+//
+//  * SLNSP (Single Level No Synchronization Parallelism): each thread runs
+//    one iteration of *every* loop, so data flow optimization works across
+//    loop bodies without explicit fusion -- here the Fused variant.
+//  * Dead-store elimination driven by OpenMP private-clause information --
+//    here the FusedDse variant, which drops stores of intermediates no
+//    later loop reads.
+//
+// All three variants compute identical results; they differ in kernel
+// count and global load/store traffic, which we count exactly.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace coe::dyn {
+
+enum class LoopVariant {
+  SmallLoops,  ///< seven separate kernels with array intermediates
+  Fused,       ///< one SLNSP kernel; conservative stores kept
+  FusedDse,    ///< one kernel + dead-store elimination
+};
+
+const char* to_string(LoopVariant v);
+
+/// Global memory traffic per element per step (counted, not modeled).
+struct TrafficCounts {
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t kernels = 0;
+
+  std::uint64_t total() const { return loads + stores; }
+};
+
+/// Element state for the explicit-dynamics update chain.
+struct ElementArrays {
+  std::vector<double> b;      ///< strain-displacement factor
+  std::vector<double> v;      ///< velocity
+  std::vector<double> e;      ///< strain
+  std::vector<double> m;      ///< mass
+  // Intermediates (live in memory for SmallLoops; register-allocated in
+  // the fused variants unless a conservative store keeps them).
+  std::vector<double> gradv, s, q, f, work;
+
+  explicit ElementArrays(std::size_t n, std::uint64_t seed = 42);
+  std::size_t size() const { return v.size(); }
+};
+
+struct DynConfig {
+  double dt = 1e-3;
+  double stiffness = 2.0;
+  double viscosity = 0.1;
+  double damping = 0.05;
+};
+
+/// Runs `steps` of the element-update chain; returns exact traffic counts.
+/// The checksum over (v, e) lets tests confirm variant equivalence.
+TrafficCounts run_update(core::ExecContext& ctx, ElementArrays& a,
+                         std::size_t steps, LoopVariant variant,
+                         const DynConfig& cfg = DynConfig{});
+
+/// Checksum over the externally visible state.
+double state_checksum(const ElementArrays& a);
+
+}  // namespace coe::dyn

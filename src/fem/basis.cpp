@@ -1,0 +1,118 @@
+#include "fem/basis.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace coe::fem {
+
+LegendreEval legendre(std::size_t n, double x) {
+  double p0 = 1.0, p1 = x;
+  if (n == 0) return {1.0, 0.0};
+  for (std::size_t k = 2; k <= n; ++k) {
+    const double pk = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+    p0 = p1;
+    p1 = pk;
+  }
+  // P_n'(x) = n (x P_n - P_{n-1}) / (x^2 - 1); handle |x| = 1 separately.
+  double d;
+  if (std::abs(std::abs(x) - 1.0) < 1e-14) {
+    const double sign = x > 0 ? 1.0 : ((n % 2 == 0) ? -1.0 : 1.0);
+    d = sign * static_cast<double>(n) * static_cast<double>(n + 1) / 2.0;
+  } else {
+    d = static_cast<double>(n) * (x * p1 - p0) / (x * x - 1.0);
+  }
+  return {p1, d};
+}
+
+Quadrature gauss_legendre(std::size_t n) {
+  assert(n >= 1);
+  Quadrature q;
+  q.points.resize(n);
+  q.weights.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Initial guess (Chebyshev-like), then Newton on P_n.
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      const auto pe = legendre(n, x);
+      const double dx = pe.value / pe.deriv;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    const auto pe = legendre(n, x);
+    q.points[n - 1 - i] = x;  // ascending order
+    q.weights[n - 1 - i] = 2.0 / ((1.0 - x * x) * pe.deriv * pe.deriv);
+  }
+  return q;
+}
+
+std::vector<double> gll_nodes(std::size_t p) {
+  const std::size_t n = p + 1;
+  std::vector<double> x(n);
+  x[0] = -1.0;
+  x[n - 1] = 1.0;
+  // Interior nodes are the roots of P_p' -- Newton from Chebyshev guesses.
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    double xi = -std::cos(M_PI * static_cast<double>(i) /
+                          static_cast<double>(p));
+    for (int it = 0; it < 100; ++it) {
+      // f = P_p'(x); f' = P_p''(x) from the Legendre ODE:
+      // (1 - x^2) P'' - 2x P' + p(p+1) P = 0.
+      const auto pe = legendre(p, xi);
+      const double f = pe.deriv;
+      const double fp = (2.0 * xi * pe.deriv -
+                         static_cast<double>(p) * static_cast<double>(p + 1) *
+                             pe.value) /
+                        (1.0 - xi * xi);
+      const double dx = f / fp;
+      xi -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    x[i] = xi;
+  }
+  return x;
+}
+
+BasisTabulation tabulate_lagrange(const std::vector<double>& nodes,
+                                  const std::vector<double>& points) {
+  BasisTabulation t;
+  t.npoints = points.size();
+  t.nnodes = nodes.size();
+  t.eval.assign(t.npoints * t.nnodes, 0.0);
+  t.deriv.assign(t.npoints * t.nnodes, 0.0);
+  const std::size_t n = nodes.size();
+  for (std::size_t q = 0; q < points.size(); ++q) {
+    const double x = points[q];
+    for (std::size_t i = 0; i < n; ++i) {
+      // l_i(x) = prod_{j != i} (x - x_j)/(x_i - x_j)
+      double li = 1.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        if (j != i) li *= (x - nodes[j]) / (nodes[i] - nodes[j]);
+      }
+      t.eval[q * n + i] = li;
+      // l_i'(x) = sum_k prod_{j != i,k} (x - x_j) / prod_{j != i}(x_i - x_j)
+      double di = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (k == i) continue;
+        double term = 1.0 / (nodes[i] - nodes[k]);
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j != i && j != k) term *= (x - nodes[j]) / (nodes[i] - nodes[j]);
+        }
+        di += term;
+      }
+      t.deriv[q * n + i] = di;
+    }
+  }
+  return t;
+}
+
+Element1D make_element(std::size_t order) {
+  Element1D e;
+  e.order = order;
+  e.nodes = gll_nodes(order);
+  e.quad = gauss_legendre(order + 2);
+  e.tab = tabulate_lagrange(e.nodes, e.quad.points);
+  return e;
+}
+
+}  // namespace coe::fem

@@ -1,0 +1,60 @@
+#pragma once
+// 1D finite-element basis machinery for arbitrary-order tensor elements:
+// Gauss-Legendre quadrature, Gauss-Lobatto-Legendre (GLL) nodal points, and
+// Lagrange basis/derivative evaluation matrices. This is the kernel data
+// that MFEM's sum-factorized partial assembly contracts with (Section
+// 4.10.3).
+
+#include <cstddef>
+#include <vector>
+
+namespace coe::fem {
+
+/// Legendre polynomial P_n(x) and its derivative, by recurrence.
+struct LegendreEval {
+  double value;
+  double deriv;
+};
+LegendreEval legendre(std::size_t n, double x);
+
+/// Gauss-Legendre rule with n points on [-1, 1] (exact to degree 2n-1).
+struct Quadrature {
+  std::vector<double> points;
+  std::vector<double> weights;
+};
+Quadrature gauss_legendre(std::size_t n);
+
+/// Gauss-Lobatto-Legendre nodes for order-p elements (p+1 points on
+/// [-1, 1], endpoints included). These are both the nodal interpolation
+/// points and the vertices of the low-order-refined mesh.
+std::vector<double> gll_nodes(std::size_t p);
+
+/// Lagrange basis through the given nodes, evaluated at the given points.
+/// Returns (eval, deriv): row-major [npoints x nnodes] matrices with
+/// eval(q, i) = l_i(x_q), deriv(q, i) = l_i'(x_q).
+struct BasisTabulation {
+  std::size_t npoints = 0;
+  std::size_t nnodes = 0;
+  std::vector<double> eval;   ///< B: npoints x nnodes
+  std::vector<double> deriv;  ///< G: npoints x nnodes
+
+  double b(std::size_t q, std::size_t i) const {
+    return eval[q * nnodes + i];
+  }
+  double g(std::size_t q, std::size_t i) const {
+    return deriv[q * nnodes + i];
+  }
+};
+BasisTabulation tabulate_lagrange(const std::vector<double>& nodes,
+                                  const std::vector<double>& points);
+
+/// Full per-order element data: GLL nodes, quadrature, and tabulations.
+struct Element1D {
+  std::size_t order;
+  std::vector<double> nodes;  ///< p+1 GLL nodes
+  Quadrature quad;            ///< p+2 Gauss points (overkill-safe)
+  BasisTabulation tab;        ///< basis at quadrature points
+};
+Element1D make_element(std::size_t order);
+
+}  // namespace coe::fem

@@ -1,0 +1,7 @@
+#pragma once
+// Umbrella header for the mini-MFEM module.
+
+#include "fem/basis.hpp"
+#include "fem/diffusion_app.hpp"
+#include "fem/elliptic.hpp"
+#include "fem/mesh.hpp"

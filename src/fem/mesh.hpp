@@ -1,0 +1,76 @@
+#pragma once
+// Structured 2D quadrilateral mesh with arbitrary-order tensor-product H1
+// dofs on GLL nodes. Lattice lines may be non-uniform, which is exactly
+// what the low-order-refined (LOR) mesh needs: its vertices sit at the
+// high-order mesh's GLL points.
+
+#include <cstddef>
+#include <vector>
+
+#include "fem/basis.hpp"
+
+namespace coe::fem {
+
+class TensorMesh2D {
+ public:
+  /// Uniform nx x ny element mesh of the unit square, order p.
+  TensorMesh2D(std::size_t nx, std::size_t ny, std::size_t order);
+
+  /// General mesh from element-boundary lines (ascending, size nx+1/ny+1).
+  TensorMesh2D(std::vector<double> xlines, std::vector<double> ylines,
+               std::size_t order);
+
+  std::size_t nx() const { return xlines_.size() - 1; }
+  std::size_t ny() const { return ylines_.size() - 1; }
+  std::size_t order() const { return order_; }
+  std::size_t num_elements() const { return nx() * ny(); }
+
+  std::size_t ndof_x() const { return nx() * order_ + 1; }
+  std::size_t ndof_y() const { return ny() * order_ + 1; }
+  std::size_t num_dofs() const { return ndof_x() * ndof_y(); }
+
+  /// Global dof id of lattice point (ix, iy).
+  std::size_t dof(std::size_t ix, std::size_t iy) const {
+    return ix * ndof_y() + iy;
+  }
+
+  /// Global dof of element (ex, ey), local tensor node (i, j).
+  std::size_t elem_dof(std::size_t ex, std::size_t ey, std::size_t i,
+                       std::size_t j) const {
+    return dof(ex * order_ + i, ey * order_ + j);
+  }
+
+  double elem_hx(std::size_t ex) const { return xlines_[ex + 1] - xlines_[ex]; }
+  double elem_hy(std::size_t ey) const { return ylines_[ey + 1] - ylines_[ey]; }
+
+  /// Physical coordinate of lattice dof (ix, iy).
+  double dof_x(std::size_t ix) const { return xcoord_[ix]; }
+  double dof_y(std::size_t iy) const { return ycoord_[iy]; }
+
+  /// Physical position of quadrature point q in element ex (1D).
+  double quad_x(std::size_t ex, double ref) const {
+    return xlines_[ex] + 0.5 * (ref + 1.0) * elem_hx(ex);
+  }
+  double quad_y(std::size_t ey, double ref) const {
+    return ylines_[ey] + 0.5 * (ref + 1.0) * elem_hy(ey);
+  }
+
+  /// Indices of all boundary dofs (the homogeneous Dirichlet set).
+  const std::vector<std::size_t>& boundary_dofs() const { return boundary_; }
+  bool is_boundary(std::size_t dof_id) const { return on_boundary_[dof_id]; }
+
+  /// Lattice line coordinates of all dofs along x/y (the LOR mesh lines).
+  const std::vector<double>& dof_xcoords() const { return xcoord_; }
+  const std::vector<double>& dof_ycoords() const { return ycoord_; }
+
+ private:
+  void build(std::size_t order);
+
+  std::vector<double> xlines_, ylines_;
+  std::size_t order_;
+  std::vector<double> xcoord_, ycoord_;  // dof lattice coordinates
+  std::vector<std::size_t> boundary_;
+  std::vector<bool> on_boundary_;
+};
+
+}  // namespace coe::fem

@@ -1,0 +1,66 @@
+#include "kinetics/atomic.hpp"
+
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace coe::kinetics {
+
+AtomicModel make_model(std::size_t levels, double transition_density,
+                       std::uint64_t seed) {
+  AtomicModel m;
+  m.energy.resize(levels);
+  m.weight.resize(levels);
+  core::Rng rng(seed);
+  // Hydrogen-like ladder: E_n = E_inf (1 - 1/n^2), weights 2n^2.
+  const double e_inf = 1.0;
+  for (std::size_t n = 0; n < levels; ++n) {
+    const double nn = static_cast<double>(n + 1);
+    m.energy[n] = e_inf * (1.0 - 1.0 / (nn * nn));
+    m.weight[n] = 2.0 * nn * nn;
+  }
+  for (std::size_t i = 0; i < levels; ++i) {
+    for (std::size_t j = i + 1; j < levels; ++j) {
+      // Adjacent levels always couple; distant pairs with probability
+      // transition_density (scaled down with gap).
+      const bool adjacent = (j == i + 1);
+      const double pkeep =
+          adjacent ? 1.0
+                   : transition_density /
+                         (1.0 + 0.3 * static_cast<double>(j - i));
+      if (!adjacent && rng.uniform() >= pkeep) continue;
+      Transition t;
+      t.lo = static_cast<std::uint32_t>(i);
+      t.hi = static_cast<std::uint32_t>(j);
+      t.osc_strength = rng.uniform(0.05, 1.0);
+      t.radiative = rng.uniform() < 0.7;
+      m.transitions.push_back(t);
+    }
+  }
+  return m;
+}
+
+double collisional_up(const AtomicModel& m, const Transition& t,
+                      const Zone& z) {
+  const double de = m.energy[t.hi] - m.energy[t.lo];
+  // van Regemorter shape: ~ ne f exp(-dE/Te) / (dE sqrt(Te)).
+  return z.ne * t.osc_strength * std::exp(-de / z.te) /
+         (std::max(de, 1e-6) * std::sqrt(z.te));
+}
+
+double collisional_down(const AtomicModel& m, const Transition& t,
+                        const Zone& z) {
+  // Detailed balance: C_down = C_up * (g_lo / g_hi) * exp(dE / Te).
+  const double de = m.energy[t.hi] - m.energy[t.lo];
+  return collisional_up(m, t, z) * (m.weight[t.lo] / m.weight[t.hi]) *
+         std::exp(de / z.te);
+}
+
+double radiative_down(const AtomicModel& m, const Transition& t) {
+  if (!t.radiative) return 0.0;
+  const double de = m.energy[t.hi] - m.energy[t.lo];
+  // A ~ f dE^2 in reduced units.
+  return t.osc_strength * de * de;
+}
+
+}  // namespace coe::kinetics

@@ -1,0 +1,57 @@
+#pragma once
+// minikin: the Cretin atomic-kinetics proxy (Section 4.3). Cretin's real
+// atomic models (gold hohlraum walls) are export-controlled, so we generate
+// synthetic screened-hydrogenic-style models with the same structure: a
+// ladder of levels with statistical weights, and the transition types whose
+// rates the mini-apps parallelized (collisional excitation/de-excitation
+// with detailed balance, radiative decay).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace coe::kinetics {
+
+/// One atomic transition between levels lo < hi.
+struct Transition {
+  std::uint32_t lo, hi;
+  double osc_strength;   ///< drives both collisional and radiative rates
+  bool radiative;        ///< allowed radiative decay hi -> lo
+};
+
+/// A synthetic atomic model: energy ladder + transition list.
+struct AtomicModel {
+  std::vector<double> energy;   ///< level energies, ascending, energy[0]=0
+  std::vector<double> weight;   ///< statistical weights g_i
+  std::vector<Transition> transitions;
+
+  std::size_t num_levels() const { return energy.size(); }
+  /// Per-zone workspace for the dense rate matrix and factorization.
+  double workspace_bytes() const {
+    const double n = static_cast<double>(num_levels());
+    return (2.0 * n * n + 4.0 * n) * 8.0;
+  }
+};
+
+/// Builds a model with `levels` levels following a hydrogen-like 1/n^2
+/// ladder; transition density controls how many level pairs couple.
+AtomicModel make_model(std::size_t levels, double transition_density = 0.5,
+                       std::uint64_t seed = 77);
+
+/// Plasma conditions in one spatial zone (reduced units: energies and
+/// temperatures on the same scale).
+struct Zone {
+  double te = 1.0;   ///< electron temperature
+  double ne = 1.0;   ///< electron density
+};
+
+/// Collisional excitation rate lo->hi (van-Regemorter-like shape).
+double collisional_up(const AtomicModel& m, const Transition& t,
+                      const Zone& z);
+/// Collisional de-excitation hi->lo by detailed balance.
+double collisional_down(const AtomicModel& m, const Transition& t,
+                        const Zone& z);
+/// Spontaneous radiative decay hi->lo.
+double radiative_down(const AtomicModel& m, const Transition& t);
+
+}  // namespace coe::kinetics

@@ -1,0 +1,74 @@
+#pragma once
+// Krylov solvers (the hypre Krylov-layer substitute): preconditioned CG for
+// SPD systems, BiCGStab and restarted GMRES for nonsymmetric ones (Cretin's
+// rate matrices, the cuSPARSE-built iterative solver of Section 4.3).
+
+#include <cstddef>
+#include <span>
+
+#include "la/csr.hpp"
+#include "la/operator.hpp"
+
+namespace coe::la {
+
+struct SolveOptions {
+  std::size_t max_iters = 1000;
+  double rel_tol = 1e-8;
+  double abs_tol = 0.0;
+};
+
+struct SolveResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double final_residual = 0.0;
+  double initial_residual = 0.0;
+};
+
+/// Preconditioned conjugate gradients. `x` holds the initial guess on entry
+/// and the solution on exit.
+SolveResult cg(core::ExecContext& ctx, const Operator& a,
+               const Preconditioner& m, std::span<const double> b,
+               std::span<double> x, const SolveOptions& opts = {});
+
+/// Preconditioned BiCGStab.
+SolveResult bicgstab(core::ExecContext& ctx, const Operator& a,
+                     const Preconditioner& m, std::span<const double> b,
+                     std::span<double> x, const SolveOptions& opts = {});
+
+/// Right-preconditioned GMRES(restart).
+SolveResult gmres(core::ExecContext& ctx, const Operator& a,
+                  const Preconditioner& m, std::span<const double> b,
+                  std::span<double> x, std::size_t restart = 30,
+                  const SolveOptions& opts = {});
+
+/// Adapts a CsrMatrix to the Operator interface.
+class CsrOperator final : public Operator {
+ public:
+  explicit CsrOperator(const CsrMatrix& a) : a_(&a) {}
+  std::size_t rows() const override { return a_->rows(); }
+  std::size_t cols() const override { return a_->cols(); }
+  void apply(core::ExecContext& ctx, std::span<const double> x,
+             std::span<double> y) const override {
+    a_->spmv(ctx, x, y);
+  }
+
+ private:
+  const CsrMatrix* a_;
+};
+
+/// Jacobi (diagonal) preconditioner.
+class JacobiPreconditioner final : public Preconditioner {
+ public:
+  explicit JacobiPreconditioner(const CsrMatrix& a) : diag_(a.diagonal()) {}
+  void apply(core::ExecContext& ctx, std::span<const double> r,
+             std::span<double> z) const override {
+    const auto& d = diag_;
+    ctx.forall(r.size(), {1.0, 24.0},
+               [&](std::size_t i) { z[i] = r[i] / d[i]; });
+  }
+
+ private:
+  std::vector<double> diag_;
+};
+
+}  // namespace coe::la

@@ -1,0 +1,9 @@
+#pragma once
+// Umbrella header for the linear-algebra substrate.
+
+#include "la/csr.hpp"
+#include "la/dense.hpp"
+#include "la/krylov.hpp"
+#include "la/operator.hpp"
+#include "la/smoothers.hpp"
+#include "la/vector_ops.hpp"

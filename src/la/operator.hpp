@@ -1,0 +1,41 @@
+#pragma once
+// Linear-operator abstraction shared by the math-library stack. This is the
+// integration seam Section 4.10 describes: hypre's AMG, MFEM's matrix-free
+// operators, and SUNDIALS' solvers all speak this interface, so data can
+// stay "on device" (in the modeled sense) across library boundaries.
+
+#include <cstddef>
+#include <span>
+
+#include "core/exec.hpp"
+
+namespace coe::la {
+
+/// y = A x. Implementations charge their own cost to the context.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+  virtual void apply(core::ExecContext& ctx, std::span<const double> x,
+                     std::span<double> y) const = 0;
+};
+
+/// z = M^{-1} r (approximately). Identity by default.
+class Preconditioner {
+ public:
+  virtual ~Preconditioner() = default;
+  virtual void apply(core::ExecContext& ctx, std::span<const double> r,
+                     std::span<double> z) const = 0;
+};
+
+class IdentityPreconditioner final : public Preconditioner {
+ public:
+  void apply(core::ExecContext& ctx, std::span<const double> r,
+             std::span<double> z) const override {
+    ctx.forall(r.size(), {0.0, 16.0},
+               [&](std::size_t i) { z[i] = r[i]; });
+  }
+};
+
+}  // namespace coe::la

@@ -1,0 +1,49 @@
+#include "la/smoothers.hpp"
+
+#include <cassert>
+
+namespace coe::la {
+
+void jacobi_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                  std::span<const double> diag, double weight,
+                  std::span<const double> b, std::span<double> x,
+                  std::span<double> scratch) {
+  assert(scratch.size() >= a.rows());
+  a.spmv(ctx, x, scratch);
+  ctx.forall(a.rows(), {3.0, 40.0}, [&](std::size_t i) {
+    x[i] += weight * (b[i] - scratch[i]) / diag[i];
+  });
+}
+
+void l1_jacobi_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                     std::span<const double> l1, std::span<const double> b,
+                     std::span<double> x, std::span<double> scratch) {
+  assert(scratch.size() >= a.rows());
+  a.spmv(ctx, x, scratch);
+  ctx.forall(a.rows(), {3.0, 40.0}, [&](std::size_t i) {
+    x[i] += (b[i] - scratch[i]) / l1[i];
+  });
+}
+
+void gauss_seidel_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                        std::span<const double> b, std::span<double> x) {
+  const auto rowptr = a.rowptr();
+  const auto colind = a.colind();
+  const auto values = a.values();
+  // Inherently sequential: charge it as one launch over all nnz.
+  ctx.record_kernel({a.spmv_flops(), a.spmv_bytes()});
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double s = b[r];
+    double d = 1.0;
+    for (std::size_t k = rowptr[r]; k < rowptr[r + 1]; ++k) {
+      if (colind[k] == r) {
+        d = values[k];
+      } else {
+        s -= values[k] * x[colind[k]];
+      }
+    }
+    x[r] = s / d;
+  }
+}
+
+}  // namespace coe::la

@@ -1,0 +1,29 @@
+#pragma once
+// Pointwise smoothers used inside the AMG hierarchy. On GPUs hypre uses
+// Jacobi-type smoothing (Gauss-Seidel is sequential), so the device path
+// here is weighted/l1 Jacobi and the CPU baseline also gets Gauss-Seidel.
+
+#include <span>
+#include <vector>
+
+#include "la/csr.hpp"
+
+namespace coe::la {
+
+/// One weighted-Jacobi sweep: x += w * D^{-1} (b - A x).
+void jacobi_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                  std::span<const double> diag, double weight,
+                  std::span<const double> b, std::span<double> x,
+                  std::span<double> scratch);
+
+/// One l1-Jacobi sweep (diag replaced by l1 row sums; unconditionally
+/// convergent for SPD M-matrices).
+void l1_jacobi_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                     std::span<const double> l1, std::span<const double> b,
+                     std::span<double> x, std::span<double> scratch);
+
+/// One forward Gauss-Seidel sweep (serial; the CPU-only smoother).
+void gauss_seidel_sweep(core::ExecContext& ctx, const CsrMatrix& a,
+                        std::span<const double> b, std::span<double> x);
+
+}  // namespace coe::la

@@ -1,0 +1,61 @@
+#pragma once
+// BLAS-1 style kernels with machine-model cost annotations. These are the
+// building blocks the Krylov solvers and SUNDIALS-style NVectors share.
+
+#include <cmath>
+#include <span>
+
+#include "core/exec.hpp"
+
+namespace coe::la {
+
+/// y += a*x
+inline void axpy(core::ExecContext& ctx, double a, std::span<const double> x,
+                 std::span<double> y) {
+  ctx.forall(x.size(), {2.0, 24.0},
+             [&](std::size_t i) { y[i] += a * x[i]; });
+}
+
+/// y = x + b*y
+inline void xpby(core::ExecContext& ctx, std::span<const double> x, double b,
+                 std::span<double> y) {
+  ctx.forall(x.size(), {2.0, 24.0},
+             [&](std::size_t i) { y[i] = x[i] + b * y[i]; });
+}
+
+/// z = a*x + b*y
+inline void axpby(core::ExecContext& ctx, double a, std::span<const double> x,
+                  double b, std::span<const double> y, std::span<double> z) {
+  ctx.forall(x.size(), {3.0, 24.0},
+             [&](std::size_t i) { z[i] = a * x[i] + b * y[i]; });
+}
+
+inline void scale(core::ExecContext& ctx, double a, std::span<double> x) {
+  ctx.forall(x.size(), {1.0, 16.0}, [&](std::size_t i) { x[i] *= a; });
+}
+
+inline void fill(core::ExecContext& ctx, std::span<double> x, double v) {
+  ctx.forall(x.size(), {0.0, 8.0}, [&](std::size_t i) { x[i] = v; });
+}
+
+inline void copy(core::ExecContext& ctx, std::span<const double> x,
+                 std::span<double> y) {
+  ctx.forall(x.size(), {0.0, 16.0}, [&](std::size_t i) { y[i] = x[i]; });
+}
+
+inline double dot(core::ExecContext& ctx, std::span<const double> x,
+                  std::span<const double> y) {
+  return ctx.reduce_sum(x.size(), {2.0, 16.0},
+                        [&](std::size_t i) { return x[i] * y[i]; });
+}
+
+inline double norm2(core::ExecContext& ctx, std::span<const double> x) {
+  return std::sqrt(dot(ctx, x, x));
+}
+
+inline double norm_inf(core::ExecContext& ctx, std::span<const double> x) {
+  return ctx.reduce_max(x.size(), {1.0, 8.0},
+                        [&](std::size_t i) { return std::abs(x[i]); });
+}
+
+}  // namespace coe::la

@@ -1,0 +1,80 @@
+#include "md/forces.hpp"
+
+#include <cmath>
+
+namespace coe::md {
+
+double compute_bond_forces(core::ExecContext& ctx, Particles& p,
+                           const Box& box, std::span<const Bond> bonds) {
+  double energy = 0.0;
+  ctx.record_kernel({30.0 * static_cast<double>(bonds.size()),
+                     150.0 * static_cast<double>(bonds.size())});
+  for (const auto& b : bonds) {
+    const double dx = box.wrap(p.x[b.i] - p.x[b.j]);
+    const double dy = box.wrap(p.y[b.i] - p.y[b.j]);
+    const double dz = box.wrap(p.z[b.i] - p.z[b.j]);
+    const double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+    const double dr = r - b.r0;
+    energy += 0.5 * b.k * dr * dr;
+    const double fr = -b.k * dr / r;
+    p.fx[b.i] += fr * dx;
+    p.fy[b.i] += fr * dy;
+    p.fz[b.i] += fr * dz;
+    p.fx[b.j] -= fr * dx;
+    p.fy[b.j] -= fr * dy;
+    p.fz[b.j] -= fr * dz;
+  }
+  return energy;
+}
+
+double compute_angle_forces(core::ExecContext& ctx, Particles& p,
+                            const Box& box, std::span<const Angle> angles) {
+  double energy = 0.0;
+  ctx.record_kernel({80.0 * static_cast<double>(angles.size()),
+                     250.0 * static_cast<double>(angles.size())});
+  for (const auto& a : angles) {
+    // Vectors from the apex j to i and k.
+    const double ax = box.wrap(p.x[a.i] - p.x[a.j]);
+    const double ay = box.wrap(p.y[a.i] - p.y[a.j]);
+    const double az = box.wrap(p.z[a.i] - p.z[a.j]);
+    const double bx = box.wrap(p.x[a.k] - p.x[a.j]);
+    const double by = box.wrap(p.y[a.k] - p.y[a.j]);
+    const double bz = box.wrap(p.z[a.k] - p.z[a.j]);
+    const double la = std::sqrt(ax * ax + ay * ay + az * az);
+    const double lb = std::sqrt(bx * bx + by * by + bz * bz);
+    double c = (ax * bx + ay * by + az * bz) / (la * lb);
+    c = std::clamp(c, -1.0, 1.0);
+    const double theta = std::acos(c);
+    const double dtheta = theta - a.theta0;
+    energy += 0.5 * a.kth * dtheta * dtheta;
+    // F_i = -k dtheta * dtheta/dr_i and dtheta/dcos = -1/sin, so the
+    // common factor is +k dtheta / sin(theta).
+    const double s = std::sqrt(std::max(1.0 - c * c, 1e-12));
+    const double coef = a.kth * dtheta / s;
+    // dtheta/dr gradients (standard angle-force expressions).
+    const double fi_x = coef * (bx / (la * lb) - c * ax / (la * la));
+    const double fi_y = coef * (by / (la * lb) - c * ay / (la * la));
+    const double fi_z = coef * (bz / (la * lb) - c * az / (la * la));
+    const double fk_x = coef * (ax / (la * lb) - c * bx / (lb * lb));
+    const double fk_y = coef * (ay / (la * lb) - c * by / (lb * lb));
+    const double fk_z = coef * (az / (la * lb) - c * bz / (lb * lb));
+    p.fx[a.i] += fi_x;
+    p.fy[a.i] += fi_y;
+    p.fz[a.i] += fi_z;
+    p.fx[a.k] += fk_x;
+    p.fy[a.k] += fk_y;
+    p.fz[a.k] += fk_z;
+    p.fx[a.j] -= fi_x + fk_x;
+    p.fy[a.j] -= fi_y + fk_y;
+    p.fz[a.j] -= fi_z + fk_z;
+  }
+  return energy;
+}
+
+double pressure(const Particles& p, const Box& box, double pair_virial) {
+  // P = (N k T + W/3) / V with W = sum r.f.
+  const double nkt = static_cast<double>(p.n) * p.temperature();
+  return (nkt + pair_virial / 3.0) / box.volume();
+}
+
+}  // namespace coe::md

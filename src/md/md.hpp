@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the ddcMD-style molecular-dynamics module.
+
+#include "md/forces.hpp"
+#include "md/neighbor.hpp"
+#include "md/particles.hpp"
+#include "md/potentials.hpp"
+#include "md/simulation.hpp"

@@ -1,0 +1,36 @@
+#include "md/particles.hpp"
+
+#include <cmath>
+
+namespace coe::md {
+
+void init_lattice(Particles& p, Box& box, std::size_t per_side,
+                  double density, double temperature, core::Rng& rng) {
+  const std::size_t n = per_side * per_side * per_side;
+  p.resize(n);
+  box.length = std::cbrt(static_cast<double>(n) / density);
+  const double a = box.length / static_cast<double>(per_side);
+  std::size_t idx = 0;
+  for (std::size_t i = 0; i < per_side; ++i) {
+    for (std::size_t j = 0; j < per_side; ++j) {
+      for (std::size_t k = 0; k < per_side; ++k, ++idx) {
+        p.x[idx] = (static_cast<double>(i) + 0.5) * a +
+                   0.05 * a * rng.normal();
+        p.y[idx] = (static_cast<double>(j) + 0.5) * a +
+                   0.05 * a * rng.normal();
+        p.z[idx] = (static_cast<double>(k) + 0.5) * a +
+                   0.05 * a * rng.normal();
+        p.x[idx] = box.fold(p.x[idx]);
+        p.y[idx] = box.fold(p.y[idx]);
+        p.z[idx] = box.fold(p.z[idx]);
+        const double s = std::sqrt(temperature / p.mass[idx]);
+        p.vx[idx] = s * rng.normal();
+        p.vy[idx] = s * rng.normal();
+        p.vz[idx] = s * rng.normal();
+      }
+    }
+  }
+  p.zero_momentum();
+}
+
+}  // namespace coe::md

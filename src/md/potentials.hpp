@@ -1,0 +1,97 @@
+#pragma once
+// Pair potentials for the templatized generic pair-processing
+// infrastructure (Section 4.6): "we developed a templatized generic pair
+// processing infrastructure that can be used to efficiently implement a
+// diverse set of potential forms." Each potential supplies energy and
+// force-over-distance at squared separation; all are cut-and-shifted so
+// NVE trajectories conserve energy.
+
+#include <cmath>
+
+namespace coe::md {
+
+/// Result of one pair evaluation: potential energy and f/r (so the force
+/// vector is fr * (dx, dy, dz)).
+struct PairEval {
+  double energy = 0.0;
+  double fr = 0.0;
+};
+
+/// 12-6 Lennard-Jones, cut & energy-shifted at rcut.
+class LennardJones {
+ public:
+  LennardJones(double epsilon, double sigma, double rcut)
+      : eps_(epsilon), sig2_(sigma * sigma), rcut2_(rcut * rcut) {
+    const double s6 = std::pow(sig2_ / rcut2_, 3.0);
+    shift_ = 4.0 * eps_ * (s6 * s6 - s6);
+  }
+
+  double rcut2() const { return rcut2_; }
+
+  PairEval operator()(double r2) const {
+    const double s2 = sig2_ / r2;
+    const double s6 = s2 * s2 * s2;
+    const double s12 = s6 * s6;
+    return {4.0 * eps_ * (s12 - s6) - shift_,
+            24.0 * eps_ * (2.0 * s12 - s6) / r2};
+  }
+
+ private:
+  double eps_, sig2_, rcut2_, shift_;
+};
+
+/// Buckingham exp-6: A exp(-B r) - C / r^6, cut & shifted.
+class Exp6 {
+ public:
+  Exp6(double a, double b, double c, double rcut)
+      : a_(a), b_(b), c_(c), rcut2_(rcut * rcut) {
+    shift_ = raw_energy(rcut);
+  }
+
+  double rcut2() const { return rcut2_; }
+
+  PairEval operator()(double r2) const {
+    const double r = std::sqrt(r2);
+    const double e = raw_energy(r) - shift_;
+    const double r6 = r2 * r2 * r2;
+    // -dU/dr = A B exp(-B r) - 6 C / r^7; fr = (-dU/dr)/r.
+    const double fr = (a_ * b_ * std::exp(-b_ * r) - 6.0 * c_ / (r6 * r)) / r;
+    return {e, fr};
+  }
+
+ private:
+  double raw_energy(double r) const {
+    const double r6 = r * r * r * r * r * r;
+    return a_ * std::exp(-b_ * r) - c_ / r6;
+  }
+
+  double a_, b_, c_, rcut2_, shift_;
+};
+
+/// Martini-style coarse-grained interaction: LJ 12-6 plus a screened
+/// Coulomb term with the standard Martini shift to zero at rcut.
+class MartiniPair {
+ public:
+  MartiniPair(double epsilon, double sigma, double q1q2, double rcut)
+      : lj_(epsilon, sigma, rcut), qq_(q1q2), rcut2_(rcut * rcut) {
+    coul_shift_ = qq_ / rcut;
+  }
+
+  double rcut2() const { return rcut2_; }
+
+  PairEval operator()(double r2) const {
+    PairEval e = lj_(r2);
+    if (qq_ != 0.0) {
+      const double r = std::sqrt(r2);
+      e.energy += qq_ / r - coul_shift_;
+      e.fr += qq_ / (r2 * r);
+    }
+    return e;
+  }
+
+ private:
+  LennardJones lj_;
+  double qq_, rcut2_, coul_shift_;
+};
+
+}  // namespace coe::md

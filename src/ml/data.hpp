@@ -1,0 +1,44 @@
+#pragma once
+// Synthetic classification datasets for the deep-learning activity tests
+// and benches (the video datasets themselves are unavailable; DESIGN.md
+// section 2 documents the substitution).
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace coe::ml {
+
+struct Dataset {
+  std::size_t nfeat = 0;
+  std::size_t classes = 0;
+  std::vector<double> x;            ///< n * nfeat
+  std::vector<std::size_t> y;       ///< n
+
+  std::size_t size() const { return y.size(); }
+};
+
+/// Gaussian blobs: `classes` clusters with the given center separation.
+inline Dataset make_blobs(std::size_t n, std::size_t nfeat,
+                          std::size_t classes, double separation,
+                          std::uint64_t seed) {
+  core::Rng rng(seed);
+  Dataset ds;
+  ds.nfeat = nfeat;
+  ds.classes = classes;
+  ds.x.resize(n * nfeat);
+  ds.y.resize(n);
+  std::vector<double> centers(classes * nfeat);
+  for (auto& c : centers) c = separation * rng.normal();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t label = rng.uniform_int(classes);
+    ds.y[i] = label;
+    for (std::size_t f = 0; f < nfeat; ++f) {
+      ds.x[i * nfeat + f] = centers[label * nfeat + f] + rng.normal();
+    }
+  }
+  return ds;
+}
+
+}  // namespace coe::ml

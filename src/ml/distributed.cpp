@@ -1,0 +1,149 @@
+#include "ml/distributed.hpp"
+
+#include <cmath>
+#include <deque>
+
+namespace coe::ml {
+
+const char* to_string(DistAlgo a) {
+  switch (a) {
+    case DistAlgo::SyncSgd: return "sync-SGD";
+    case DistAlgo::Asgd: return "ASGD";
+    case DistAlgo::Kavg: return "KAVG";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Samples a minibatch into (bx, by).
+void sample_batch(const Dataset& ds, std::size_t batch, core::Rng& rng,
+                  std::vector<double>& bx, std::vector<std::size_t>& by) {
+  bx.resize(batch * ds.nfeat);
+  by.resize(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t s = rng.uniform_int(ds.size());
+    std::copy(
+        ds.x.begin() + static_cast<std::ptrdiff_t>(s * ds.nfeat),
+        ds.x.begin() + static_cast<std::ptrdiff_t>((s + 1) * ds.nfeat),
+        bx.begin() + static_cast<std::ptrdiff_t>(b * ds.nfeat));
+    by[b] = ds.y[s];
+  }
+}
+
+double eval_loss(const DenseNet& net, const Dataset& ds) {
+  double loss = 0.0;
+  for (std::size_t s = 0; s < ds.size(); ++s) {
+    const auto p = net.predict(
+        std::span<const double>(ds.x).subspan(s * ds.nfeat, ds.nfeat));
+    loss += -std::log(std::max(p[ds.y[s]], 1e-30));
+  }
+  return loss / static_cast<double>(ds.size());
+}
+
+}  // namespace
+
+DistResult train_distributed(DenseNet& net, const Dataset& ds,
+                             DistAlgo algo, const DistConfig& cfg) {
+  DistResult res;
+  core::Rng rng(cfg.seed);
+  std::vector<double> grad(net.num_params());
+  std::vector<double> bx;
+  std::vector<std::size_t> by;
+  std::size_t used = 0;
+
+  auto finite = [&]() {
+    for (double p : net.params()) {
+      if (!std::isfinite(p)) return false;
+    }
+    return true;
+  };
+
+  switch (algo) {
+    case DistAlgo::SyncSgd: {
+      // All learners contribute to one averaged gradient per step.
+      std::vector<double> acc(net.num_params());
+      while (used + cfg.learners <= cfg.gradient_budget) {
+        std::fill(acc.begin(), acc.end(), 0.0);
+        for (std::size_t l = 0; l < cfg.learners; ++l) {
+          sample_batch(ds, cfg.batch, rng, bx, by);
+          net.batch_loss_and_grad(bx, by, ds.nfeat, grad);
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += grad[i];
+          ++used;
+        }
+        const double inv = 1.0 / static_cast<double>(cfg.learners);
+        for (auto& g : acc) g *= inv;
+        net.apply_gradient(acc, cfg.lr);
+        ++res.updates;
+        ++res.comm_rounds;  // one allreduce per step
+      }
+      break;
+    }
+    case DistAlgo::Asgd: {
+      // Parameter server: each arriving gradient was computed from the
+      // weights as of `staleness` updates ago. Staleness is uniform in
+      // [0, learners-1] -- the uncontrollable spread the paper calls out.
+      std::deque<std::vector<double>> history;  // past parameter snapshots
+      history.emplace_back(net.params().begin(), net.params().end());
+      DenseNet stale = net;
+      while (used < cfg.gradient_budget) {
+        const std::size_t s =
+            std::min<std::size_t>(rng.uniform_int(cfg.learners),
+                                  history.size() - 1);
+        stale.set_params(history[history.size() - 1 - s]);
+        sample_batch(ds, cfg.batch, rng, bx, by);
+        stale.batch_loss_and_grad(bx, by, ds.nfeat, grad);
+        ++used;
+        net.apply_gradient(grad, cfg.lr);  // applied to *current* weights
+        ++res.updates;
+        ++res.comm_rounds;  // every gradient is a server round trip
+        history.emplace_back(net.params().begin(), net.params().end());
+        while (history.size() > cfg.learners) history.pop_front();
+        if (!finite()) {
+          res.diverged = true;
+          break;
+        }
+      }
+      break;
+    }
+    case DistAlgo::Kavg: {
+      // Learners hold replicas; K local steps, then average the models.
+      std::vector<DenseNet> replicas(cfg.learners, net);
+      std::vector<double> avg(net.num_params());
+      while (used + cfg.learners * cfg.k <= cfg.gradient_budget) {
+        for (auto& rep : replicas) {
+          for (std::size_t step = 0; step < cfg.k; ++step) {
+            sample_batch(ds, cfg.batch, rng, bx, by);
+            rep.batch_loss_and_grad(bx, by, ds.nfeat, grad);
+            rep.apply_gradient(grad, cfg.lr);
+            ++used;
+            ++res.updates;
+          }
+        }
+        std::fill(avg.begin(), avg.end(), 0.0);
+        for (const auto& rep : replicas) {
+          const auto p = rep.params();
+          for (std::size_t i = 0; i < avg.size(); ++i) avg[i] += p[i];
+        }
+        const double inv = 1.0 / static_cast<double>(cfg.learners);
+        for (auto& v : avg) v *= inv;
+        for (auto& rep : replicas) rep.set_params(avg);
+        net.set_params(avg);
+        ++res.comm_rounds;  // one global reduction per K steps
+        if (!finite()) {
+          res.diverged = true;
+          break;
+        }
+      }
+      break;
+    }
+  }
+
+  if (!finite()) res.diverged = true;
+  res.final_loss = res.diverged ? 1e30 : eval_loss(net, ds);
+  res.final_accuracy =
+      res.diverged ? 0.0 : net.accuracy(ds.x, ds.y, ds.nfeat);
+  return res;
+}
+
+}  // namespace coe::ml

@@ -1,0 +1,39 @@
+#pragma once
+// Distributed-training algorithm study (Section 4.5): synchronous SGD,
+// asynchronous SGD with a parameter server (staleness modeled explicitly),
+// and the K-step averaging algorithm (KAVG) the team proposed. Training is
+// real (gradients on a real DenseNet over a real dataset); only the
+// learner concurrency is simulated.
+
+#include "ml/data.hpp"
+#include "ml/nn.hpp"
+
+namespace coe::ml {
+
+enum class DistAlgo { SyncSgd, Asgd, Kavg };
+
+const char* to_string(DistAlgo a);
+
+struct DistConfig {
+  std::size_t learners = 4;
+  double lr = 0.1;
+  std::size_t k = 4;             ///< local steps per averaging round (KAVG)
+  std::size_t batch = 16;        ///< per-learner minibatch
+  std::size_t gradient_budget = 2000;  ///< total gradient evaluations
+  std::uint64_t seed = 5;
+};
+
+struct DistResult {
+  double final_loss = 0.0;
+  double final_accuracy = 0.0;
+  std::size_t comm_rounds = 0;   ///< global reductions / server round trips
+  std::size_t updates = 0;       ///< parameter updates applied
+  bool diverged = false;         ///< loss became non-finite or exploded
+};
+
+/// Trains `net` in place under the given algorithm until the gradient
+/// budget is exhausted; evaluates on the same dataset (capacity regime).
+DistResult train_distributed(DenseNet& net, const Dataset& ds,
+                             DistAlgo algo, const DistConfig& cfg);
+
+}  // namespace coe::ml

@@ -1,0 +1,37 @@
+#include "ml/lbann.hpp"
+
+#include <cmath>
+
+namespace coe::ml {
+
+double sample_step_time(const LbannModel& m, const hsim::MachineModel& gpu,
+                        std::size_t gpus_per_sample) {
+  const double p = static_cast<double>(gpus_per_sample);
+  const double compute = m.flops_per_sample / (gpu.flops() * p);
+  // Halo exchange between the p partitions: surface-to-volume gives a
+  // sqrt(p) aggregate-traffic law over the NVLink fabric.
+  const double base_halo = m.activation_bytes * m.halo_fraction / gpu.link_bw;
+  const double halo = gpus_per_sample > 1 ? base_halo * std::sqrt(p) : 0.0;
+  return compute + halo;
+}
+
+double train_step_time(const LbannModel& m, const hsim::MachineModel& gpu,
+                       const hsim::ClusterModel& net,
+                       std::size_t total_gpus, std::size_t gpus_per_sample) {
+  const std::size_t replicas =
+      std::max<std::size_t>(total_gpus / gpus_per_sample, 1);
+  const double step = sample_step_time(m, gpu, gpus_per_sample);
+  const double reduce = net.allreduce(
+      static_cast<std::size_t>(m.weight_bytes /
+                               static_cast<double>(gpus_per_sample)),
+      static_cast<int>(replicas));
+  return step + reduce;
+}
+
+double sample_speedup(const LbannModel& m, const hsim::MachineModel& gpu,
+                      std::size_t gpus_per_sample) {
+  return sample_step_time(m, gpu, m.min_gpus_per_sample) /
+         sample_step_time(m, gpu, gpus_per_sample);
+}
+
+}  // namespace coe::ml

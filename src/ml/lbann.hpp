@@ -1,0 +1,45 @@
+#pragma once
+// LBANN spatial-parallel training scaling model (Figure 3). The algorithm
+// partitions *each sample* across `gpus_per_sample` GPUs (the model is too
+// large for one Volta), on top of conventional data parallelism across
+// replicas. Step time decomposes into sample-parallel compute, intra-
+// sample halo exchange over NVLink, and the cross-replica weight
+// allreduce; the published curves pin the constants.
+
+#include <cstddef>
+
+#include "core/machine.hpp"
+
+namespace coe::hsim {
+// (cluster/machine models come from coe::hsim)
+}
+
+namespace coe::ml {
+
+struct LbannModel {
+  double flops_per_sample = 2.0e13;   ///< semantic-segmentation 3D U-Net
+  double weight_bytes = 2.0e9;        ///< model too big for one 16 GB V100
+  double activation_bytes = 20.0e9;   ///< activations partitioned w/ sample
+  /// Effective fraction of activations exchanged per step (sqrt-p law);
+  /// calibrated so the 8/16-GPU speedups land on Fig. 3 (2.8x, 3.4x).
+  double halo_fraction = 0.37;
+  std::size_t min_gpus_per_sample = 2;
+};
+
+/// Time for one sample's forward+backward on p cooperating GPUs.
+double sample_step_time(const LbannModel& m, const hsim::MachineModel& gpu,
+                        std::size_t gpus_per_sample);
+
+/// Time per global training step with `total_gpus` GPUs split into
+/// replicas of `gpus_per_sample`, each replica processing one sample of
+/// the mini-batch; includes the weight allreduce across replicas.
+double train_step_time(const LbannModel& m, const hsim::MachineModel& gpu,
+                       const hsim::ClusterModel& net,
+                       std::size_t total_gpus, std::size_t gpus_per_sample);
+
+/// Strong-scaling speedup of the per-sample step vs the minimum feasible
+/// partitioning (2 GPUs/sample).
+double sample_speedup(const LbannModel& m, const hsim::MachineModel& gpu,
+                      std::size_t gpus_per_sample);
+
+}  // namespace coe::ml

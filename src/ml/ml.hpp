@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for the deep-learning activity module.
+
+#include "ml/data.hpp"
+#include "ml/distributed.hpp"
+#include "ml/lbann.hpp"
+#include "ml/nn.hpp"
+#include "ml/streams.hpp"

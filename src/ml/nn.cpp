@@ -1,0 +1,187 @@
+#include "ml/nn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace coe::ml {
+
+DenseNet::DenseNet(std::vector<std::size_t> sizes, std::uint64_t seed)
+    : sizes_(std::move(sizes)) {
+  assert(sizes_.size() >= 2);
+  std::size_t off = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    Layer layer;
+    layer.in = sizes_[l];
+    layer.out = sizes_[l + 1];
+    layer.w_off = off;
+    off += layer.in * layer.out;
+    layer.b_off = off;
+    off += layer.out;
+    layers_.push_back(layer);
+  }
+  params_.assign(off, 0.0);
+  core::Rng rng(seed);
+  for (const auto& l : layers_) {
+    const double scale = std::sqrt(2.0 / static_cast<double>(l.in));
+    for (std::size_t k = 0; k < l.in * l.out; ++k) {
+      params_[l.w_off + k] = scale * rng.normal();
+    }
+  }
+}
+
+std::size_t DenseNet::num_params() const { return params_.size(); }
+
+void DenseNet::set_params(std::span<const double> p) {
+  assert(p.size() == params_.size());
+  std::copy(p.begin(), p.end(), params_.begin());
+}
+
+std::vector<double> DenseNet::forward(
+    std::span<const double> x, std::vector<std::vector<double>>* acts) const {
+  std::vector<double> cur(x.begin(), x.end());
+  if (acts != nullptr) acts->push_back(cur);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& l = layers_[li];
+    std::vector<double> next(l.out);
+    for (std::size_t o = 0; o < l.out; ++o) {
+      double s = params_[l.b_off + o];
+      const double* w = &params_[l.w_off + o * l.in];
+      for (std::size_t i = 0; i < l.in; ++i) s += w[i] * cur[i];
+      next[o] = s;
+    }
+    const bool last = li + 1 == layers_.size();
+    if (!last) {
+      for (auto& v : next) v = std::max(v, 0.0);  // ReLU
+    }
+    cur = std::move(next);
+    if (acts != nullptr) acts->push_back(cur);
+  }
+  // Softmax on the final logits.
+  const double mx = *std::max_element(cur.begin(), cur.end());
+  double z = 0.0;
+  for (auto& v : cur) {
+    v = std::exp(v - mx);
+    z += v;
+  }
+  for (auto& v : cur) v /= z;
+  return cur;
+}
+
+std::vector<double> DenseNet::predict(std::span<const double> x) const {
+  return forward(x, nullptr);
+}
+
+std::size_t DenseNet::predict_class(std::span<const double> x) const {
+  const auto p = predict(x);
+  return static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+}
+
+double DenseNet::loss_and_grad(std::span<const double> x, std::size_t label,
+                               std::span<double> grad) const {
+  assert(grad.size() == params_.size());
+  std::vector<std::vector<double>> acts;
+  auto probs = forward(x, &acts);
+  const double loss = -std::log(std::max(probs[label], 1e-30));
+
+  // Backprop. delta at the softmax head: p - onehot.
+  std::vector<double> delta = probs;
+  delta[label] -= 1.0;
+  for (std::size_t li = layers_.size(); li-- > 0;) {
+    const Layer& l = layers_[li];
+    const auto& input = acts[li];       // activation entering this layer
+    const auto& output = acts[li + 1];  // post-ReLU (or logits for last)
+    // For hidden layers, delta arrives post-ReLU-derivative already
+    // applied below; for the last layer delta is the softmax gradient.
+    std::vector<double> prev_delta(l.in, 0.0);
+    for (std::size_t o = 0; o < l.out; ++o) {
+      const double d = delta[o];
+      grad[l.b_off + o] += d;
+      double* gw = &grad[l.w_off + o * l.in];
+      const double* w = &params_[l.w_off + o * l.in];
+      for (std::size_t i = 0; i < l.in; ++i) {
+        gw[i] += d * input[i];
+        prev_delta[i] += d * w[i];
+      }
+    }
+    if (li > 0) {
+      // ReLU derivative w.r.t. the previous layer's output.
+      for (std::size_t i = 0; i < l.in; ++i) {
+        if (acts[li][i] <= 0.0) prev_delta[i] = 0.0;
+      }
+    }
+    delta = std::move(prev_delta);
+    (void)output;
+  }
+  return loss;
+}
+
+double DenseNet::batch_loss_and_grad(std::span<const double> xs,
+                                     std::span<const std::size_t> labels,
+                                     std::size_t nfeat,
+                                     std::span<double> grad) const {
+  std::fill(grad.begin(), grad.end(), 0.0);
+  double loss = 0.0;
+  const std::size_t n = labels.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    loss += loss_and_grad(xs.subspan(s * nfeat, nfeat), labels[s], grad);
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (auto& g : grad) g *= inv;
+  return loss * inv;
+}
+
+void DenseNet::apply_gradient(std::span<const double> grad, double lr) {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    params_[i] -= lr * grad[i];
+  }
+}
+
+double DenseNet::accuracy(std::span<const double> xs,
+                          std::span<const std::size_t> labels,
+                          std::size_t nfeat) const {
+  std::size_t hits = 0;
+  for (std::size_t s = 0; s < labels.size(); ++s) {
+    hits += predict_class(xs.subspan(s * nfeat, nfeat)) == labels[s];
+  }
+  return static_cast<double>(hits) / static_cast<double>(labels.size());
+}
+
+DenseNet make_logistic_regression(std::size_t in, std::size_t classes,
+                                  std::uint64_t seed) {
+  return DenseNet({in, classes}, seed);
+}
+
+void train_sgd(DenseNet& net, std::span<const double> xs,
+               std::span<const std::size_t> labels, std::size_t nfeat,
+               const TrainConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  const std::size_t n = labels.size();
+  std::vector<double> grad(net.num_params());
+  std::vector<double> velocity(net.num_params(), 0.0);
+  std::vector<double> bx(cfg.batch * nfeat);
+  std::vector<std::size_t> by(cfg.batch);
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    for (std::size_t it = 0; it < (n + cfg.batch - 1) / cfg.batch; ++it) {
+      for (std::size_t b = 0; b < cfg.batch; ++b) {
+        const std::size_t s = rng.uniform_int(n);
+        std::copy(xs.begin() + static_cast<std::ptrdiff_t>(s * nfeat),
+                  xs.begin() + static_cast<std::ptrdiff_t>((s + 1) * nfeat),
+                  bx.begin() + static_cast<std::ptrdiff_t>(b * nfeat));
+        by[b] = labels[s];
+      }
+      net.batch_loss_and_grad(bx, by, nfeat, grad);
+      if (cfg.momentum > 0.0) {
+        for (std::size_t k = 0; k < grad.size(); ++k) {
+          velocity[k] = cfg.momentum * velocity[k] + grad[k];
+        }
+        net.apply_gradient(velocity, cfg.lr);
+      } else {
+        net.apply_gradient(grad, cfg.lr);
+      }
+    }
+  }
+}
+
+}  // namespace coe::ml

@@ -1,0 +1,76 @@
+#pragma once
+// A small dense neural network with ReLU hidden layers and a softmax
+// cross-entropy head, plus plain SGD -- the real computational core behind
+// the Data Science deep-learning experiments: the KAVG-vs-ASGD study runs
+// real training on it, and it doubles as the "shallow NN" and "logistic
+// regression" stream combiners of Table 3.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace coe::ml {
+
+/// Fully-connected network: sizes = {in, hidden..., out}.
+class DenseNet {
+ public:
+  DenseNet(std::vector<std::size_t> sizes, std::uint64_t seed = 1);
+
+  std::size_t num_params() const;
+  std::span<double> params() { return params_; }
+  std::span<const double> params() const { return params_; }
+  void set_params(std::span<const double> p);
+
+  /// Forward pass; returns class probabilities (softmax).
+  std::vector<double> predict(std::span<const double> x) const;
+  std::size_t predict_class(std::span<const double> x) const;
+
+  /// Cross-entropy loss and gradient for one (x, label) pair, accumulated
+  /// into `grad` (sized num_params). Returns the loss.
+  double loss_and_grad(std::span<const double> x, std::size_t label,
+                       std::span<double> grad) const;
+
+  /// Mean loss over a batch; gradient averaged into `grad`.
+  double batch_loss_and_grad(std::span<const double> xs,
+                             std::span<const std::size_t> labels,
+                             std::size_t nfeat, std::span<double> grad) const;
+
+  /// params -= lr * grad
+  void apply_gradient(std::span<const double> grad, double lr);
+
+  double accuracy(std::span<const double> xs,
+                  std::span<const std::size_t> labels,
+                  std::size_t nfeat) const;
+
+ private:
+  struct Layer {
+    std::size_t in, out;
+    std::size_t w_off, b_off;  // offsets into params_
+  };
+  std::vector<double> forward(std::span<const double> x,
+                              std::vector<std::vector<double>>* acts) const;
+
+  std::vector<std::size_t> sizes_;
+  std::vector<Layer> layers_;
+  std::vector<double> params_;
+};
+
+/// Multinomial logistic regression = DenseNet with no hidden layer.
+DenseNet make_logistic_regression(std::size_t in, std::size_t classes,
+                                  std::uint64_t seed = 1);
+
+/// Simple SGD training loop over an in-memory dataset.
+struct TrainConfig {
+  double lr = 0.1;
+  double momentum = 0.0;
+  std::size_t epochs = 20;
+  std::size_t batch = 32;
+  std::uint64_t seed = 7;
+};
+void train_sgd(DenseNet& net, std::span<const double> xs,
+               std::span<const std::size_t> labels, std::size_t nfeat,
+               const TrainConfig& cfg);
+
+}  // namespace coe::ml

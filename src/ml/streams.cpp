@@ -1,0 +1,294 @@
+#include "ml/streams.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+
+namespace coe::ml {
+
+namespace {
+
+void softmax_inplace(std::span<double> v) {
+  const double mx = *std::max_element(v.begin(), v.end());
+  double z = 0.0;
+  for (auto& x : v) {
+    x = std::exp(x - mx);
+    z += x;
+  }
+  for (auto& x : v) x /= z;
+}
+
+/// Fills a StreamScores block with the generative model: per sample a
+/// shared error direction plus stream-private noise around the one-hot
+/// signal of strength a_s.
+StreamScores generate_block(std::size_t n, std::size_t classes,
+                            const std::array<double, 3>& strength,
+                            double rho, core::Rng& rng) {
+  StreamScores d;
+  d.classes = classes;
+  d.scores.resize(n * 3 * classes);
+  d.labels.resize(n);
+  std::vector<double> shared(classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t y = rng.uniform_int(classes);
+    d.labels[i] = y;
+    for (auto& g : shared) g = rng.normal();
+    for (std::size_t s = 0; s < 3; ++s) {
+      auto block = std::span<double>(d.scores)
+                       .subspan((i * 3 + s) * classes, classes);
+      for (std::size_t c = 0; c < classes; ++c) {
+        block[c] = rho * shared[c] +
+                   std::sqrt(1.0 - rho * rho) * rng.normal();
+      }
+      block[y] += strength[s];
+      softmax_inplace(block);
+    }
+  }
+  return d;
+}
+
+/// Accuracy of a single stream given signal strength a (Monte Carlo).
+double accuracy_for_strength(double a, std::size_t classes,
+                             std::uint64_t seed) {
+  core::Rng rng(seed);
+  const std::size_t trials = 4000;
+  std::size_t hits = 0;
+  std::vector<double> z(classes);
+  for (std::size_t t = 0; t < trials; ++t) {
+    for (auto& v : z) v = rng.normal();
+    z[0] += a;  // wlog the true class is 0
+    hits += (std::max_element(z.begin(), z.end()) == z.begin());
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double calibrate_strength(double target, std::size_t classes,
+                          std::uint64_t seed) {
+  double lo = 0.0, hi = 20.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (accuracy_for_strength(mid, classes, seed) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Flattens the three streams' scores into a feature matrix. Log
+/// probabilities linearize the fusion problem (a logistic layer over log
+/// probs can express the product-of-experts combination).
+void features(const StreamScores& d, std::vector<double>& x) {
+  x.resize(d.scores.size());
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    x[k] = std::log(d.scores[k] + 1e-8) / 8.0;  // scaled to O(1)
+  }
+}
+
+}  // namespace
+
+StreamsDataset generate_streams(const StreamsConfig& cfg) {
+  StreamsDataset ds;
+  for (std::size_t s = 0; s < 3; ++s) {
+    ds.calibrated_strength[s] = calibrate_strength(
+        cfg.target_accuracy[s], cfg.classes, cfg.seed + 31 * s);
+  }
+  core::Rng rng(cfg.seed);
+  ds.train = generate_block(cfg.train_samples, cfg.classes,
+                            ds.calibrated_strength, cfg.correlation, rng);
+  ds.test = generate_block(cfg.test_samples, cfg.classes,
+                           ds.calibrated_strength, cfg.correlation, rng);
+  return ds;
+}
+
+double stream_accuracy(const StreamScores& d, std::size_t stream) {
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const auto s = d.sample_stream(i, stream);
+    const auto best = std::max_element(s.begin(), s.end()) - s.begin();
+    hits += static_cast<std::size_t>(best) == d.labels[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(d.size());
+}
+
+namespace {
+
+double combine_linear(const StreamScores& d,
+                      const std::array<double, 3>& w) {
+  std::size_t hits = 0;
+  std::vector<double> acc(d.classes);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    std::fill(acc.begin(), acc.end(), 0.0);
+    for (std::size_t s = 0; s < 3; ++s) {
+      const auto block = d.sample_stream(i, s);
+      for (std::size_t c = 0; c < d.classes; ++c) acc[c] += w[s] * block[c];
+    }
+    const auto best = std::max_element(acc.begin(), acc.end()) - acc.begin();
+    hits += static_cast<std::size_t>(best) == d.labels[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(d.size());
+}
+
+}  // namespace
+
+double combine_simple_average(const StreamScores& test) {
+  return combine_linear(test, {1.0, 1.0, 1.0});
+}
+
+double combine_weighted_average(const StreamScores& test,
+                                const std::array<double, 3>& weights) {
+  return combine_linear(test, weights);
+}
+
+double combine_logistic_regression(const StreamScores& train,
+                                   const StreamScores& test) {
+  const std::size_t nfeat = 3 * train.classes;
+  auto net = make_logistic_regression(nfeat, train.classes, 11);
+  // Warm start at the product-of-experts solution (class c reads its own
+  // log-probability from every stream); SGD then reweights the streams.
+  {
+    auto params = net.params();
+    std::fill(params.begin(), params.end(), 0.0);
+    for (std::size_t c = 0; c < train.classes; ++c) {
+      for (std::size_t s = 0; s < 3; ++s) {
+        params[c * nfeat + s * train.classes + c] = 8.0;
+      }
+    }
+  }
+  std::vector<double> xtr, xte;
+  features(train, xtr);
+  features(test, xte);
+  TrainConfig cfg;
+  cfg.lr = 0.05;
+  cfg.momentum = 0.9;
+  cfg.epochs = 10;
+  cfg.batch = 32;
+  train_sgd(net, xtr, train.labels, nfeat, cfg);
+  return net.accuracy(xte, test.labels, nfeat);
+}
+
+namespace {
+
+/// Class-shared fusion MLP: the same tiny network f(s1, s2, s3) -> score
+/// is applied to every class's three stream log-probabilities, and the
+/// fused scores feed a softmax. Weight sharing across classes is what
+/// makes a "shallow NN" combiner generalize (it has ~40 parameters, not
+/// 30k), and it can express nonlinear stream gating that the weighted
+/// average cannot.
+class FusionMlp {
+ public:
+  static constexpr std::size_t kHidden = 8;
+
+  explicit FusionMlp(std::uint64_t seed) {
+    core::Rng rng(seed);
+    for (auto& v : w1_) v = 0.5 * rng.normal();
+    for (auto& v : b1_) v = 0.0;
+    for (auto& v : w2_) v = 0.5 * rng.normal();
+    b2_ = 0.0;
+  }
+
+  double score(const double s[3], double hidden[kHidden]) const {
+    double z = b2_;
+    for (std::size_t j = 0; j < kHidden; ++j) {
+      double h = b1_[j];
+      for (int i = 0; i < 3; ++i) h += w1_[j * 3 + i] * s[i];
+      h = std::max(h, 0.0);
+      hidden[j] = h;
+      z += w2_[j] * h;
+    }
+    return z;
+  }
+
+  /// One SGD step on a single sample; returns the loss.
+  double step(const StreamScores& d, std::size_t sample, double lr) {
+    const std::size_t c_count = d.classes;
+    std::vector<double> z(c_count);
+    std::vector<std::array<double, kHidden>> hidden(c_count);
+    std::vector<std::array<double, 3>> feats(c_count);
+    for (std::size_t c = 0; c < c_count; ++c) {
+      for (std::size_t s = 0; s < 3; ++s) {
+        feats[c][s] = std::log(d.sample_stream(sample, s)[c] + 1e-8) +
+                      std::log(static_cast<double>(c_count));
+      }
+      z[c] = score(feats[c].data(), hidden[c].data());
+    }
+    // Softmax cross entropy.
+    const double mx = *std::max_element(z.begin(), z.end());
+    double sum = 0.0;
+    for (auto& v : z) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    const std::size_t y = d.labels[sample];
+    const double loss = -std::log(std::max(z[y] / sum, 1e-30));
+    // Backprop through the shared parameters.
+    double gw1[kHidden * 3] = {0}, gb1[kHidden] = {0}, gw2[kHidden] = {0},
+           gb2 = 0.0;
+    for (std::size_t c = 0; c < c_count; ++c) {
+      const double dz = z[c] / sum - (c == y ? 1.0 : 0.0);
+      gb2 += dz;
+      for (std::size_t j = 0; j < kHidden; ++j) {
+        gw2[j] += dz * hidden[c][j];
+        if (hidden[c][j] > 0.0) {
+          const double dh = dz * w2_[j];
+          gb1[j] += dh;
+          for (int i = 0; i < 3; ++i) gw1[j * 3 + i] += dh * feats[c][i];
+        }
+      }
+    }
+    for (std::size_t k = 0; k < kHidden * 3; ++k) w1_[k] -= lr * gw1[k];
+    for (std::size_t j = 0; j < kHidden; ++j) {
+      b1_[j] -= lr * gb1[j];
+      w2_[j] -= lr * gw2[j];
+    }
+    b2_ -= lr * gb2;
+    return loss;
+  }
+
+  std::size_t predict(const StreamScores& d, std::size_t sample) const {
+    const std::size_t c_count = d.classes;
+    double best = -1e300;
+    std::size_t best_c = 0;
+    double hidden[kHidden];
+    for (std::size_t c = 0; c < c_count; ++c) {
+      double s[3];
+      for (std::size_t st = 0; st < 3; ++st) {
+        s[st] = std::log(d.sample_stream(sample, st)[c] + 1e-8) +
+                std::log(static_cast<double>(c_count));
+      }
+      const double z = score(s, hidden);
+      if (z > best) {
+        best = z;
+        best_c = c;
+      }
+    }
+    return best_c;
+  }
+
+ private:
+  std::array<double, kHidden * 3> w1_{};
+  std::array<double, kHidden> b1_{};
+  std::array<double, kHidden> w2_{};
+  double b2_ = 0.0;
+};
+
+}  // namespace
+
+double combine_shallow_nn(const StreamScores& train,
+                          const StreamScores& test) {
+  FusionMlp mlp(13);
+  core::Rng rng(17);
+  const std::size_t steps = 6 * train.size();
+  for (std::size_t it = 0; it < steps; ++it) {
+    mlp.step(train, rng.uniform_int(train.size()), 0.01);
+  }
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    hits += mlp.predict(test, i) == test.labels[i];
+  }
+  return static_cast<double>(hits) / static_cast<double>(test.size());
+}
+
+}  // namespace coe::ml

@@ -1,0 +1,65 @@
+#pragma once
+// The Table 3 study: combining spatial / temporal / SPyNet stream
+// classifiers for video action recognition. The video datasets and deep
+// backbones are unavailable here, so a calibrated synthetic score
+// generator stands in for the three trained streams (each stream's
+// single-network accuracy is matched to the paper's numbers by a signal-
+// strength search); the *combination* methods -- simple average, weighted
+// average, logistic regression, shallow NN -- are real implementations.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/nn.hpp"
+
+namespace coe::ml {
+
+struct StreamScores {
+  std::size_t classes = 0;
+  std::size_t streams = 3;
+  std::vector<double> scores;       ///< n * streams * classes (softmax-ed)
+  std::vector<std::size_t> labels;  ///< n
+
+  std::size_t size() const { return labels.size(); }
+  std::span<const double> sample_stream(std::size_t i, std::size_t s) const {
+    return std::span<const double>(scores).subspan(
+        (i * streams + s) * classes, classes);
+  }
+};
+
+struct StreamsConfig {
+  std::size_t classes = 101;
+  std::size_t train_samples = 3000;
+  std::size_t test_samples = 3000;
+  /// Target single-stream top-1 accuracies (spatial, temporal, SPyNet).
+  std::array<double, 3> target_accuracy{0.85, 0.85, 0.88};
+  double correlation = 0.55;  ///< shared error between streams
+  std::uint64_t seed = 100;
+};
+
+struct StreamsDataset {
+  StreamScores train;
+  StreamScores test;
+  std::array<double, 3> calibrated_strength{};
+};
+
+/// Generates train/test stream scores with single-stream test accuracies
+/// calibrated to the targets (within ~1 point).
+StreamsDataset generate_streams(const StreamsConfig& cfg);
+
+/// Top-1 accuracy of one stream alone.
+double stream_accuracy(const StreamScores& d, std::size_t stream);
+
+/// Combination approaches of Table 3 (all evaluated on `test`).
+double combine_simple_average(const StreamScores& test);
+double combine_weighted_average(const StreamScores& test,
+                                const std::array<double, 3>& weights);
+/// Trains on `train` scores, evaluates on `test`.
+double combine_logistic_regression(const StreamScores& train,
+                                   const StreamScores& test);
+double combine_shallow_nn(const StreamScores& train,
+                          const StreamScores& test);
+
+}  // namespace coe::ml

@@ -1,0 +1,159 @@
+#include "mpi/comm.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace coe::mpi {
+
+class World {
+ public:
+  explicit World(int ranks) : ranks_(ranks), reduce_buf_() {}
+
+  int size() const { return ranks_; }
+
+  void send(int src, int dest, int tag, std::vector<double> data) {
+    std::lock_guard<std::mutex> lk(mtx_);
+    stats_.messages += 1;
+    stats_.bytes += static_cast<double>(data.size()) * 8.0;
+    mail_[key(src, dest, tag)].push(std::move(data));
+    cv_.notify_all();
+  }
+
+  std::vector<double> recv(int src, int dest, int tag) {
+    std::unique_lock<std::mutex> lk(mtx_);
+    auto& q = mail_[key(src, dest, tag)];
+    cv_.wait(lk, [&] { return !q.empty(); });
+    auto data = std::move(q.front());
+    q.pop();
+    return data;
+  }
+
+  void barrier() {
+    std::unique_lock<std::mutex> lk(mtx_);
+    const std::size_t gen = barrier_gen_;
+    if (++barrier_count_ == ranks_) {
+      barrier_count_ = 0;
+      ++barrier_gen_;
+      ++stats_.barriers;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+    }
+  }
+
+  void allreduce_sum(std::span<double> inout) {
+    std::unique_lock<std::mutex> lk(mtx_);
+    // A new epoch may not start writing until every rank of the previous
+    // epoch has copied its result out.
+    cv_.wait(lk, [&] { return reduce_readers_ == 0; });
+    const std::size_t gen = reduce_gen_;
+    if (reduce_count_ == 0) {
+      reduce_buf_.assign(inout.begin(), inout.end());
+    } else {
+      for (std::size_t i = 0; i < inout.size(); ++i) {
+        reduce_buf_[i] += inout[i];
+      }
+    }
+    stats_.bytes += static_cast<double>(inout.size()) * 8.0;
+    if (++reduce_count_ == ranks_) {
+      reduce_count_ = 0;
+      ++reduce_gen_;
+      reduce_readers_ = ranks_;
+      ++stats_.allreduces;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] { return reduce_gen_ != gen; });
+    }
+    std::copy(reduce_buf_.begin(),
+              reduce_buf_.begin() + static_cast<std::ptrdiff_t>(inout.size()),
+              inout.begin());
+    if (--reduce_readers_ == 0) cv_.notify_all();
+  }
+
+  const TrafficStats& stats() const { return stats_; }
+
+ private:
+  static std::uint64_t key(int src, int dest, int tag) {
+    return (std::uint64_t(std::uint16_t(src)) << 32) |
+           (std::uint64_t(std::uint16_t(dest)) << 16) |
+           std::uint64_t(std::uint16_t(tag));
+  }
+
+  int ranks_;
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
+  int barrier_count_ = 0;
+  std::size_t barrier_gen_ = 0;
+  int reduce_count_ = 0;
+  int reduce_readers_ = 0;
+  std::size_t reduce_gen_ = 0;
+  std::vector<double> reduce_buf_;
+  TrafficStats stats_;
+};
+
+int Communicator::size() const { return world_->size(); }
+
+void Communicator::send(int dest, int tag, std::vector<double> data) {
+  world_->send(rank_, dest, tag, std::move(data));
+}
+
+std::vector<double> Communicator::recv(int src, int tag) {
+  return world_->recv(src, rank_, tag);
+}
+
+void Communicator::allreduce_sum(std::span<double> inout) {
+  world_->allreduce_sum(inout);
+}
+
+double Communicator::allreduce_sum(double v) {
+  double buf = v;
+  world_->allreduce_sum(std::span<double>(&buf, 1));
+  return buf;
+}
+
+double Communicator::allreduce_max(double v) {
+  // Built on the sum-reduce plumbing via a two-phase gather: simple and
+  // rarely hot. Encode max via repeated pairwise exchange with rank 0.
+  if (world_->size() == 1) return v;
+  if (rank_ == 0) {
+    double best = v;
+    for (int r = 1; r < world_->size(); ++r) {
+      auto msg = world_->recv(r, 0, /*tag=*/0x7f);
+      best = std::max(best, msg[0]);
+    }
+    for (int r = 1; r < world_->size(); ++r) {
+      world_->send(0, r, 0x7e, {best});
+    }
+    return best;
+  }
+  world_->send(rank_, 0, 0x7f, {v});
+  return world_->recv(0, rank_, 0x7e)[0];
+}
+
+void Communicator::barrier() { world_->barrier(); }
+
+TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn) {
+  World world(ranks);
+  std::vector<std::thread> threads;
+  std::exception_ptr error;
+  std::mutex error_mtx;
+  threads.reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(&world, r);
+      try {
+        fn(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mtx);
+        if (!error) error = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (error) std::rethrow_exception(error);
+  return world.stats();
+}
+
+}  // namespace coe::mpi

@@ -1,0 +1,66 @@
+#pragma once
+// A small message-passing substrate in the spirit of the MPI programs the
+// iCoE workload is built from (every production code in the paper is
+// MPI-based; the paper's node-level work sat on top of existing scalable
+// MPI implementations). Ranks are real threads with blocking mailboxes,
+// so send/recv/collective semantics are genuine; traffic is counted so
+// cluster models can price a run.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "core/machine.hpp"
+
+namespace coe::mpi {
+
+struct TrafficStats {
+  std::size_t messages = 0;
+  double bytes = 0.0;
+  std::size_t allreduces = 0;
+  std::size_t barriers = 0;
+
+  /// Prices the recorded traffic on a cluster model (sequentialized upper
+  /// bound: every message pays alpha + beta * bytes).
+  double modeled_time(const hsim::ClusterModel& net) const {
+    return static_cast<double>(messages) * net.alpha + net.beta * bytes;
+  }
+};
+
+class World;
+
+/// Per-rank handle (MPI_Comm analog). Valid only inside run().
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const;
+
+  /// Blocking tagged send/recv of double payloads.
+  void send(int dest, int tag, std::vector<double> data);
+  std::vector<double> recv(int src, int tag);
+
+  /// In-place sum-allreduce over all ranks.
+  void allreduce_sum(std::span<double> inout);
+  double allreduce_sum(double v);
+  double allreduce_max(double v);
+
+  void barrier();
+
+ private:
+  friend TrafficStats run(int, const std::function<void(Communicator&)>&);
+  Communicator(World* w, int rank) : world_(w), rank_(rank) {}
+  World* world_;
+  int rank_;
+};
+
+/// Runs fn on `ranks` concurrent threads with a shared mailbox world;
+/// returns the aggregate traffic stats once every rank finishes. Any rank
+/// throwing propagates out of run() (after joining the others).
+TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn);
+
+}  // namespace coe::mpi

@@ -1,0 +1,201 @@
+#include "ode/integrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coe::ode {
+
+IntegratorStats Rk4::integrate(OdeRhs& f, double t0, double tf,
+                               std::size_t steps, NVector& y) {
+  IntegratorStats stats;
+  auto& ctx = y.ctx();
+  const std::size_t n = y.size();
+  NVector k1(ctx, n), k2(ctx, n), k3(ctx, n), k4(ctx, n), tmp(ctx, n);
+  const double h = (tf - t0) / static_cast<double>(steps);
+  double t = t0;
+  for (std::size_t s = 0; s < steps; ++s) {
+    f.eval(t, y, k1);
+    tmp.linear_sum(1.0, y, 0.5 * h, k1);
+    f.eval(t + 0.5 * h, tmp, k2);
+    tmp.linear_sum(1.0, y, 0.5 * h, k2);
+    f.eval(t + 0.5 * h, tmp, k3);
+    tmp.linear_sum(1.0, y, h, k3);
+    f.eval(t + h, tmp, k4);
+    y.axpy(h / 6.0, k1);
+    y.axpy(h / 3.0, k2);
+    y.axpy(h / 3.0, k3);
+    y.axpy(h / 6.0, k4);
+    t += h;
+    stats.rhs_evals += 4;
+    ++stats.steps;
+  }
+  stats.last_dt = h;
+  return stats;
+}
+
+IntegratorStats Rk23::integrate(OdeRhs& f, double t0, double tf, NVector& y) {
+  IntegratorStats stats;
+  auto& ctx = y.ctx();
+  const std::size_t n = y.size();
+  NVector k1(ctx, n), k2(ctx, n), k3(ctx, n), k4(ctx, n), ynew(ctx, n),
+      err(ctx, n);
+
+  double t = t0;
+  double h = std::min(opts_.dt_init, tf - t0);
+  f.eval(t, y, k1);
+  ++stats.rhs_evals;
+
+  while (t < tf && stats.steps < opts_.max_steps) {
+    h = std::min(h, tf - t);
+    // Bogacki-Shampine stages.
+    ynew.linear_sum(1.0, y, 0.5 * h, k1);
+    f.eval(t + 0.5 * h, ynew, k2);
+    ynew.linear_sum(1.0, y, 0.75 * h, k2);
+    f.eval(t + 0.75 * h, ynew, k3);
+    ynew.copy_from(y);
+    ynew.axpy(2.0 / 9.0 * h, k1);
+    ynew.axpy(1.0 / 3.0 * h, k2);
+    ynew.axpy(4.0 / 9.0 * h, k3);
+    f.eval(t + h, ynew, k4);
+    stats.rhs_evals += 3;
+    // Embedded error estimate.
+    err.fill(0.0);
+    err.axpy(-5.0 / 72.0 * h, k1);
+    err.axpy(1.0 / 12.0 * h, k2);
+    err.axpy(1.0 / 9.0 * h, k3);
+    err.axpy(-1.0 / 8.0 * h, k4);
+    const double e = err.wrms_norm(y, opts_.rtol, opts_.atol);
+
+    if (e <= 1.0) {
+      t += h;
+      y.copy_from(ynew);
+      k1.copy_from(k4);  // FSAL
+      ++stats.steps;
+      stats.last_dt = h;
+    } else {
+      ++stats.error_test_failures;
+    }
+    const double fac =
+        std::clamp(0.9 * std::pow(std::max(e, 1e-10), -1.0 / 3.0), 0.2, 5.0);
+    h = std::clamp(h * fac, opts_.dt_min, opts_.dt_max);
+  }
+  return stats;
+}
+
+namespace {
+
+/// One Newton (or fixed-point) solve of y = c + gamma*f(t, y).
+/// On entry y holds the predictor. Returns true on convergence.
+bool nonlinear_solve(OdeRhs& f, OdeLinearSolver* ls, double t, double gamma,
+                     const NVector& c, NVector& y, const NVector& weight_ref,
+                     double rtol, double atol, std::size_t max_iters,
+                     double tol, IntegratorStats& stats) {
+  auto& ctx = y.ctx();
+  const std::size_t n = y.size();
+  NVector fy(ctx, n), resid(ctx, n), delta(ctx, n);
+
+  if (ls != nullptr) {
+    ls->setup(t, y, gamma);
+    ++stats.lin_setups;
+  }
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    f.eval(t, y, fy);
+    ++stats.rhs_evals;
+    // resid = c + gamma*f(y) - y
+    resid.linear_sum(1.0, c, gamma, fy);
+    resid.axpy(-1.0, y);
+    if (ls != nullptr) {
+      // Newton: (I - gamma J) delta = resid.
+      ls->solve(resid, delta);
+    } else {
+      // Fixed point: delta = resid.
+      delta.copy_from(resid);
+    }
+    y.axpy(1.0, delta);
+    ++stats.newton_iters;
+    const double dn = delta.wrms_norm(weight_ref, rtol, atol);
+    if (dn < tol) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+IntegratorStats Bdf::integrate(OdeRhs& f, OdeLinearSolver* lsolver, double t0,
+                               double tf, NVector& y) {
+  IntegratorStats stats;
+  auto& ctx = y.ctx();
+  const std::size_t n = y.size();
+
+  NVector yn(ctx, n), ynm1(ctx, n), ypred(ctx, n), c(ctx, n), fy(ctx, n),
+      diff(ctx, n);
+  yn.copy_from(y);
+  double h_prev = 0.0;
+  double t = t0;
+  double h = std::min(opts_.dt_init, tf - t0);
+  std::size_t order = 1;
+
+  while (t < tf && stats.steps < opts_.max_steps) {
+    h = std::min(h, tf - t);
+    double a0, a1, beta;
+    if (order == 1 || h_prev == 0.0) {
+      a0 = 1.0;
+      a1 = 0.0;
+      beta = 1.0;
+    } else {
+      const double rho = h / h_prev;
+      const double denom = 1.0 + 2.0 * rho;
+      a0 = (1.0 + rho) * (1.0 + rho) / denom;
+      a1 = -rho * rho / denom;
+      beta = (1.0 + rho) / denom;
+    }
+    // Predictor: extrapolation through the history.
+    if (order == 1 || h_prev == 0.0) {
+      f.eval(t, yn, fy);
+      ++stats.rhs_evals;
+      ypred.linear_sum(1.0, yn, h, fy);
+    } else {
+      const double rho = h / h_prev;
+      ypred.linear_sum(1.0 + rho, yn, -rho, ynm1);
+    }
+    // Constant part of the BDF equation.
+    c.linear_sum(a0, yn, a1, ynm1);
+
+    y.copy_from(ypred);
+    const bool nl_ok = nonlinear_solve(
+        f, lsolver, t + h, beta * h, c, y, yn, opts_.rtol, opts_.atol,
+        opts_.max_newton_iters, opts_.newton_tol, stats);
+    if (!nl_ok) {
+      ++stats.newton_failures;
+      h = std::max(h * 0.25, opts_.dt_min);
+      continue;
+    }
+
+    // Error estimate from the predictor-corrector difference.
+    diff.linear_sum(1.0, y, -1.0, ypred);
+    const double coeff = order == 1 ? 0.5 : 1.0 / 3.0;
+    const double e = coeff * diff.wrms_norm(yn, opts_.rtol, opts_.atol);
+
+    if (e <= 1.0) {
+      // Accept.
+      ynm1.copy_from(yn);
+      yn.copy_from(y);
+      h_prev = h;
+      t += h;
+      ++stats.steps;
+      stats.last_dt = h;
+      if (order < opts_.max_order && stats.steps >= 2) order = 2;
+    } else {
+      ++stats.error_test_failures;
+    }
+    const double fac = std::clamp(
+        0.9 * std::pow(std::max(e, 1e-10),
+                       -1.0 / static_cast<double>(order + 1)),
+        0.2, 4.0);
+    h = std::clamp(h * fac, opts_.dt_min, opts_.dt_max);
+  }
+  y.copy_from(yn);
+  return stats;
+}
+
+}  // namespace coe::ode

@@ -1,0 +1,96 @@
+#pragma once
+// mini-SUNDIALS integrators: a fixed-step RK4, an adaptive embedded RK23
+// (Bogacki-Shampine), and a CVODE-shaped variable-step BDF(1,2) with
+// modified Newton and a pluggable lsetup/lsolve linear solver -- the seam
+// through which MFEM + hypre plug in for the nonlinear diffusion experiment
+// (Figure 8 / Table 4).
+
+#include <cstddef>
+#include <functional>
+
+#include "ode/nvector.hpp"
+
+namespace coe::ode {
+
+/// Right-hand side ydot = f(t, y).
+class OdeRhs {
+ public:
+  virtual ~OdeRhs() = default;
+  virtual void eval(double t, const NVector& y, NVector& ydot) = 0;
+};
+
+/// SUNDIALS-style linear-solver interface for Newton systems
+/// (I - gamma*J) x = r, where J = df/dy at the setup point.
+class OdeLinearSolver {
+ public:
+  virtual ~OdeLinearSolver() = default;
+  /// Prepares for solves at state (t, y) with the given gamma.
+  virtual void setup(double t, const NVector& y, double gamma) = 0;
+  /// Solves (I - gamma*J) x = r.
+  virtual void solve(const NVector& r, NVector& x) = 0;
+};
+
+struct IntegratorStats {
+  std::size_t steps = 0;
+  std::size_t rhs_evals = 0;
+  std::size_t newton_iters = 0;
+  std::size_t lin_setups = 0;
+  std::size_t error_test_failures = 0;
+  std::size_t newton_failures = 0;
+  double last_dt = 0.0;
+};
+
+/// Classic fixed-step RK4.
+class Rk4 {
+ public:
+  /// Advances y from t0 to tf in `steps` equal steps.
+  IntegratorStats integrate(OdeRhs& f, double t0, double tf,
+                            std::size_t steps, NVector& y);
+};
+
+struct AdaptiveOptions {
+  double rtol = 1e-6;
+  double atol = 1e-9;
+  double dt_init = 1e-4;
+  double dt_min = 1e-14;
+  double dt_max = 1e30;
+  std::size_t max_steps = 1000000;
+};
+
+/// Bogacki-Shampine 3(2) adaptive explicit integrator.
+class Rk23 {
+ public:
+  explicit Rk23(AdaptiveOptions opts = AdaptiveOptions{}) : opts_(opts) {}
+  IntegratorStats integrate(OdeRhs& f, double t0, double tf, NVector& y);
+
+ private:
+  AdaptiveOptions opts_;
+};
+
+struct BdfOptions {
+  double rtol = 1e-6;
+  double atol = 1e-9;
+  double dt_init = 1e-4;
+  double dt_min = 1e-14;
+  double dt_max = 1e30;
+  std::size_t max_steps = 1000000;
+  std::size_t max_order = 2;         ///< 1 or 2
+  std::size_t max_newton_iters = 10;
+  double newton_tol = 0.1;           ///< in units of the step error test
+};
+
+/// Variable-step BDF(1,2) with modified Newton (CVODE's stiff path, in
+/// miniature). When no linear solver is supplied, damped fixed-point
+/// iteration is used (CVODE's functional iteration).
+class Bdf {
+ public:
+  explicit Bdf(BdfOptions opts = BdfOptions{}) : opts_(opts) {}
+
+  IntegratorStats integrate(OdeRhs& f, OdeLinearSolver* lsolver, double t0,
+                            double tf, NVector& y);
+
+ private:
+  BdfOptions opts_;
+};
+
+}  // namespace coe::ode

@@ -1,0 +1,91 @@
+#pragma once
+// mini-SUNDIALS NVector (Section 4.10.2): "the team's approach leaves
+// high-level control to the time integrator and nonlinear solver calls on
+// the CPU, and supplies vector implementations that operate on data in GPU
+// memory." Integrator control flow below runs plain C++; every vector
+// operation goes through the execution context so it is priced on (and
+// keeps its data on) the modeled device.
+
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace coe::ode {
+
+/// Device-resident vector with SUNDIALS-style operations.
+class NVector {
+ public:
+  NVector(core::ExecContext& ctx, std::size_t n, double init = 0.0)
+      : ctx_(&ctx), data_(n, init) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+  core::ExecContext& ctx() const { return *ctx_; }
+
+  /// this = a*x + b*y
+  void linear_sum(double a, const NVector& x, double b, const NVector& y) {
+    auto& d = data_;
+    const auto& xs = x.data_;
+    const auto& ys = y.data_;
+    ctx_->forall(d.size(), {3.0, 24.0}, [&](std::size_t i) {
+      d[i] = a * xs[i] + b * ys[i];
+    });
+  }
+
+  void copy_from(const NVector& x) {
+    auto& d = data_;
+    const auto& xs = x.data_;
+    ctx_->forall(d.size(), {0.0, 16.0}, [&](std::size_t i) { d[i] = xs[i]; });
+  }
+
+  void fill(double c) {
+    auto& d = data_;
+    ctx_->forall(d.size(), {0.0, 8.0}, [&](std::size_t i) { d[i] = c; });
+  }
+
+  void scale(double c) {
+    auto& d = data_;
+    ctx_->forall(d.size(), {1.0, 16.0}, [&](std::size_t i) { d[i] *= c; });
+  }
+
+  void axpy(double a, const NVector& x) {
+    auto& d = data_;
+    const auto& xs = x.data_;
+    ctx_->forall(d.size(), {2.0, 24.0},
+                 [&](std::size_t i) { d[i] += a * xs[i]; });
+  }
+
+  double dot(const NVector& y) const {
+    const auto& d = data_;
+    const auto& ys = y.data_;
+    return ctx_->reduce_sum(d.size(), {2.0, 16.0},
+                            [&](std::size_t i) { return d[i] * ys[i]; });
+  }
+
+  double max_norm() const {
+    const auto& d = data_;
+    return ctx_->reduce_max(d.size(), {1.0, 8.0},
+                            [&](std::size_t i) { return std::abs(d[i]); });
+  }
+
+  /// Weighted RMS norm with weights 1/(rtol*|ref_i| + atol): the SUNDIALS
+  /// error norm.
+  double wrms_norm(const NVector& ref, double rtol, double atol) const {
+    const auto& d = data_;
+    const auto& r = ref.data_;
+    const double s = ctx_->reduce_sum(d.size(), {5.0, 16.0}, [&](std::size_t i) {
+      const double w = 1.0 / (rtol * std::abs(r[i]) + atol);
+      return d[i] * w * d[i] * w;
+    });
+    return std::sqrt(s / static_cast<double>(d.size()));
+  }
+
+ private:
+  core::ExecContext* ctx_;
+  std::vector<double> data_;
+};
+
+}  // namespace coe::ode

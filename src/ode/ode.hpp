@@ -1,0 +1,5 @@
+#pragma once
+// Umbrella header for the mini-SUNDIALS module.
+
+#include "ode/integrator.hpp"
+#include "ode/nvector.hpp"

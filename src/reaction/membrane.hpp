@@ -1,0 +1,75 @@
+#pragma once
+// Cardioid's reaction kernels in miniature (Section 4.1): a Hodgkin-Huxley
+// style excitable membrane model whose gate-rate functions are built from
+// the expensive exp() calls the Melodee DSL replaces. Two kernel variants:
+// RateTables::Libm evaluates rates exactly; RateTables::Rational runs the
+// DSL-generated rational-polynomial approximations.
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "reaction/rational.hpp"
+
+namespace coe::reaction {
+
+/// Per-cell membrane state.
+struct CellState {
+  double v = -65.0;  ///< membrane potential, mV
+  double m = 0.053;  ///< Na activation
+  double h = 0.596;  ///< Na inactivation
+  double n = 0.318;  ///< K activation
+};
+
+/// Exact HH gate-rate functions (removable singularities handled).
+namespace rates {
+double alpha_m(double v);
+double beta_m(double v);
+double alpha_h(double v);
+double beta_h(double v);
+double alpha_n(double v);
+double beta_n(double v);
+}  // namespace rates
+
+enum class RateKind { Libm, Rational };
+
+/// The reaction kernel over a population of cells; Rush-Larsen gate
+/// integration (exact exponential per gate), forward-Euler voltage.
+///
+/// The Rational variant does what Melodee does: for a fixed dt it fits the
+/// complete Rush-Larsen update  g' = A(v) + B(v) g  with A, B rational in
+/// v, eliminating *every* exp() from the inner loop (the rates and the
+/// exponential integrator alike).
+class MembraneKernel {
+ public:
+  /// Builds rational fits over the physiological window [-100, 60] mV.
+  /// `baked_dt` is the timestep compiled into the Rational variant.
+  explicit MembraneKernel(RateKind kind, std::size_t np = 7,
+                          std::size_t nq = 4, double baked_dt = 0.01);
+
+  RateKind kind() const { return kind_; }
+
+  /// Advances all cells by dt; stim adds a current (uA/cm^2) to every
+  /// cell in [stim_begin, stim_end). For the Rational variant dt must
+  /// equal the baked dt.
+  void step(core::ExecContext& ctx, std::span<CellState> cells, double dt,
+            double stim = 0.0, std::size_t stim_begin = 0,
+            std::size_t stim_end = 0) const;
+
+  /// Ionic current for one state (for diffusion coupling).
+  double ionic_current(const CellState& s) const;
+
+  /// Worst-case relative error of the fitted rates vs libm.
+  double fit_error() const { return fit_error_; }
+
+ private:
+  struct Fits;
+
+  RateKind kind_;
+  std::shared_ptr<const Fits> fits_;
+  double baked_dt_ = 0.01;
+  double fit_error_ = 0.0;
+};
+
+}  // namespace coe::reaction

@@ -1,0 +1,85 @@
+#include "reaction/monodomain.hpp"
+
+#include <algorithm>
+
+namespace coe::reaction {
+
+Monodomain::Monodomain(core::ExecContext& device, core::ExecContext& host,
+                       TissueConfig cfg)
+    : device_(&device), host_(&host), cfg_(cfg), kernel_(cfg.rates),
+      cells_(cfg.nx * cfg.ny), lap_(cfg.nx * cfg.ny, 0.0) {
+  // One-time upload of the tissue state.
+  device_->record_transfer(static_cast<double>(cells_.size()) * 32.0, true);
+}
+
+void Monodomain::stimulate(std::size_t x0, std::size_t x1, std::size_t y0,
+                           std::size_t y1, double current, double duration) {
+  sx0_ = x0;
+  sx1_ = x1;
+  sy0_ = y0;
+  sy1_ = y1;
+  stim_current_ = current;
+  stim_until_ = t_ + duration;
+}
+
+void Monodomain::step() {
+  const std::size_t nx = cfg_.nx, ny = cfg_.ny;
+  const double coef = cfg_.diffusion / (cfg_.dx * cfg_.dx);
+
+  auto& dctx = diffusion_ctx();
+  if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
+    // Voltage field leaves the device and the Laplacian comes back.
+    device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
+                             false);
+  }
+  // 5-point Laplacian with no-flux (mirrored) boundaries.
+  dctx.forall2(nx, ny, {8.0, 48.0}, [&](std::size_t i, std::size_t j) {
+    auto v = [&](std::size_t a, std::size_t b) {
+      return cells_[a * ny + b].v;
+    };
+    const double vim = v(i > 0 ? i - 1 : 1, j);
+    const double vip = v(i + 1 < nx ? i + 1 : nx - 2, j);
+    const double vjm = v(i, j > 0 ? j - 1 : 1);
+    const double vjp = v(i, j + 1 < ny ? j + 1 : ny - 2);
+    lap_[i * ny + j] =
+        coef * (vim + vip + vjm + vjp - 4.0 * v(i, j));
+  });
+  if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
+    device_->record_transfer(static_cast<double>(cells_.size()) * 8.0, true);
+  }
+
+  // Voltage update from diffusion + stimulus (device resident).
+  const bool stim_active = t_ < stim_until_;
+  device_->forall(cells_.size(), {3.0, 32.0}, [&](std::size_t idx) {
+    cells_[idx].v += cfg_.dt * lap_[idx];
+    if (stim_active) {
+      const std::size_t i = idx / ny, j = idx % ny;
+      if (i >= sx0_ && i < sx1_ && j >= sy0_ && j < sy1_) {
+        cells_[idx].v += cfg_.dt * stim_current_;
+      }
+    }
+  });
+
+  // Reaction kernel (always on the device).
+  kernel_.step(*device_, cells_, cfg_.dt);
+  t_ += cfg_.dt;
+}
+
+void Monodomain::run(double duration) {
+  const auto steps = static_cast<std::size_t>(duration / cfg_.dt + 0.5);
+  for (std::size_t s = 0; s < steps; ++s) step();
+}
+
+double Monodomain::max_voltage() const {
+  double m = -1e300;
+  for (const auto& c : cells_) m = std::max(m, c.v);
+  return m;
+}
+
+double Monodomain::excited_fraction(double threshold) const {
+  std::size_t count = 0;
+  for (const auto& c : cells_) count += (c.v > threshold);
+  return static_cast<double>(count) / static_cast<double>(cells_.size());
+}
+
+}  // namespace coe::reaction

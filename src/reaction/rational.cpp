@@ -1,0 +1,82 @@
+#include "reaction/rational.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "la/dense.hpp"
+
+namespace coe::reaction {
+
+RationalFit::RationalFit(const std::function<double(double)>& f, double a,
+                         double b, std::size_t np, std::size_t nq,
+                         std::size_t samples)
+    : a_(a), b_(b), p_(np + 1, 0.0), q_(nq + 1, 0.0) {
+  assert(b > a && samples > np + nq + 1);
+  q_[0] = 1.0;
+  // Linearized least squares in the Chebyshev basis (monomial normal
+  // equations are hopelessly ill-conditioned beyond degree ~8):
+  // P(t) - f(x) * (Q(t) - 1) = f(x), unknowns p_0..p_np and q_1..q_nq,
+  // with P, Q expanded in T_k(t).
+  const std::size_t ncoef = np + 1 + nq;
+  la::DenseMatrix ata(ncoef, ncoef);
+  std::vector<double> atb(ncoef, 0.0);
+  std::vector<double> row(ncoef);
+  std::vector<double> cheb(std::max(np, nq) + 1);
+  for (std::size_t s = 0; s < samples; ++s) {
+    // Chebyshev-distributed sample points resist Runge oscillation.
+    const double t = -std::cos(M_PI * (static_cast<double>(s) + 0.5) /
+                               static_cast<double>(samples));
+    const double x = 0.5 * ((b_ - a_) * t + (a_ + b_));
+    const double fx = f(x);
+    cheb[0] = 1.0;
+    if (cheb.size() > 1) cheb[1] = t;
+    for (std::size_t k = 2; k < cheb.size(); ++k) {
+      cheb[k] = 2.0 * t * cheb[k - 1] - cheb[k - 2];
+    }
+    for (std::size_t i = 0; i <= np; ++i) row[i] = cheb[i];
+    for (std::size_t i = 1; i <= nq; ++i) row[np + i] = -fx * cheb[i];
+    for (std::size_t i = 0; i < ncoef; ++i) {
+      atb[i] += row[i] * fx;
+      for (std::size_t j = 0; j < ncoef; ++j) {
+        ata(i, j) += row[i] * row[j];
+      }
+    }
+  }
+  la::LuFactor lu(ata);
+  lu.solve(atb);
+  for (std::size_t i = 0; i <= np; ++i) p_[i] = atb[i];
+  for (std::size_t i = 1; i <= nq; ++i) q_[i] = atb[np + i];
+}
+
+namespace {
+/// Clenshaw evaluation of a Chebyshev series.
+double clenshaw(std::span<const double> c, double t) {
+  double b1 = 0.0, b2 = 0.0;
+  for (std::size_t k = c.size(); k-- > 1;) {
+    const double b = c[k] + 2.0 * t * b1 - b2;
+    b2 = b1;
+    b1 = b;
+  }
+  return c[0] + t * b1 - b2;
+}
+}  // namespace
+
+double RationalFit::operator()(double x) const {
+  const double t = scale(x);
+  return clenshaw(p_, t) / clenshaw(q_, t);
+}
+
+double RationalFit::max_relative_error(
+    const std::function<double(double)>& f, std::size_t samples) const {
+  double worst = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const double x = a_ + (b_ - a_) * static_cast<double>(s) /
+                              static_cast<double>(samples - 1);
+    const double fx = f(x);
+    const double err = std::abs((*this)(x)-fx) / std::max(1.0, std::abs(fx));
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+}  // namespace coe::reaction

@@ -1,0 +1,83 @@
+#pragma once
+// The Melodee-DSL substitute (Section 4.1): Cardioid "developed a DSL that
+// automatically finds and replaces expensive math functions with rational
+// polynomials." RationalFit least-squares fits P(x)/Q(x) to an arbitrary
+// scalar function on an interval; three evaluation variants reproduce the
+// paper's performance ladder:
+//
+//   libm          -- call the original function (exp/log/pow),
+//   runtime       -- Clenshaw with heap-resident coefficients,
+//   specialized   -- fixed-degree unrolled Clenshaw with coefficients baked
+//                    into the closure (the "compile-time constants" trick
+//                    that "could yield significant performance").
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace coe::reaction {
+
+class RationalFit {
+ public:
+  /// Fits f on [a, b] with numerator degree np and denominator degree nq
+  /// (Q(0) = 1 normalization, in the scaled variable t in [-1, 1]).
+  RationalFit(const std::function<double(double)>& f, double a, double b,
+              std::size_t np, std::size_t nq, std::size_t samples = 256);
+
+  double a() const { return a_; }
+  double b() const { return b_; }
+  std::span<const double> p() const { return p_; }
+  std::span<const double> q() const { return q_; }
+
+  /// Horner evaluation with runtime coefficients.
+  double operator()(double x) const;
+
+  /// Max |fit - f| / max(1, |f|) over a dense sample of [a, b].
+  double max_relative_error(const std::function<double(double)>& f,
+                            std::size_t samples = 1000) const;
+
+ private:
+  double scale(double x) const { return (2.0 * x - (a_ + b_)) / (b_ - a_); }
+
+  double a_, b_;
+  std::vector<double> p_, q_;  ///< q_[0] == 1
+};
+
+/// Fixed-degree evaluator with the coefficients captured by value: the
+/// compiler unrolls and constant-propagates through the closure, the
+/// "compile-time constants" version. Degrees are template parameters like
+/// the generated kernels Cardioid JIT-compiled per model.
+template <std::size_t NP, std::size_t NQ>
+class SpecializedRational {
+ public:
+  explicit SpecializedRational(const RationalFit& fit)
+      : a_(fit.a()), b_(fit.b()) {
+    for (std::size_t i = 0; i <= NP; ++i) p_[i] = fit.p()[i];
+    for (std::size_t i = 0; i <= NQ; ++i) q_[i] = fit.q()[i];
+  }
+
+  double operator()(double x) const {
+    const double t = (2.0 * x - (a_ + b_)) / (b_ - a_);
+    return clenshaw<NP>(p_, t) / clenshaw<NQ>(q_, t);
+  }
+
+ private:
+  template <std::size_t N>
+  static double clenshaw(const std::array<double, N + 1>& c, double t) {
+    double b1 = 0.0, b2 = 0.0;
+    for (std::size_t k = N + 1; k-- > 1;) {
+      const double b = c[k] + 2.0 * t * b1 - b2;
+      b2 = b1;
+      b1 = b;
+    }
+    return c[0] + t * b1 - b2;
+  }
+
+  double a_, b_;
+  std::array<double, NP + 1> p_{};
+  std::array<double, NQ + 1> q_{};
+};
+
+}  // namespace coe::reaction

@@ -1,0 +1,170 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace coe::sched {
+
+const char* to_string(Policy p) {
+  switch (p) {
+    case Policy::Fcfs: return "FCFS";
+    case Policy::Sjf: return "SJF";
+    case Policy::SjfQuota: return "SJF+Quota";
+  }
+  return "?";
+}
+
+ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
+  outcomes_.clear();
+  ScheduleMetrics m;
+  if (jobs.empty()) return m;
+
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    return a.submit_time < b.submit_time;
+  });
+
+  // Auto parameters for the quota policy.
+  double threshold = cfg_.long_job_threshold;
+  if (threshold <= 0.0) {
+    std::vector<double> est;
+    est.reserve(jobs.size());
+    for (const auto& j : jobs) est.push_back(j.estimate);
+    const std::size_t p90 = est.size() * 9 / 10;
+    std::nth_element(est.begin(), est.begin() + p90, est.end());
+    threshold = est[p90];
+  }
+  int reserve = cfg_.long_job_reserve;
+  if (reserve <= 0) reserve = std::max(1, cfg_.num_gpus / 4);
+
+  struct Running {
+    double finish;
+    int gpus;
+    bool is_long;
+    std::size_t job_index;
+    bool operator>(const Running& o) const { return finish > o.finish; }
+  };
+  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
+      running;
+
+  std::vector<std::size_t> queue;  // indices of queued jobs
+  std::size_t next_arrival = 0;
+  int free_gpus = cfg_.num_gpus;
+  int long_gpus_busy = 0;
+  double now = 0.0;
+  double busy_gpu_time = 0.0;
+  double total_wait = 0.0, total_turnaround = 0.0, max_wait = 0.0;
+  outcomes_.resize(jobs.size());
+
+  auto pick_next = [&]() -> std::ptrdiff_t {
+    // Returns an index into `queue` or -1.
+    // Under SjfQuota, when the long-job reserve is undersubscribed and a
+    // feasible long job waits, it takes priority (shortest long first).
+    std::ptrdiff_t best = -1;
+    std::ptrdiff_t best_long = -1;
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+      const Job& j = jobs[queue[qi]];
+      if (j.gpus > free_gpus) continue;
+      const bool is_long = j.estimate >= threshold;
+      if (cfg_.policy == Policy::Fcfs) return static_cast<std::ptrdiff_t>(qi);
+      if (best < 0 ||
+          j.estimate <
+              jobs[queue[static_cast<std::size_t>(best)]].estimate) {
+        best = static_cast<std::ptrdiff_t>(qi);
+      }
+      if (is_long &&
+          (best_long < 0 ||
+           j.estimate <
+               jobs[queue[static_cast<std::size_t>(best_long)]].estimate)) {
+        best_long = static_cast<std::ptrdiff_t>(qi);
+      }
+    }
+    if (cfg_.policy == Policy::SjfQuota && best_long >= 0 &&
+        long_gpus_busy < reserve) {
+      return best_long;
+    }
+    return best;
+  };
+
+  auto launch_all_possible = [&]() {
+    for (;;) {
+      const std::ptrdiff_t qi = pick_next();
+      if (qi < 0) break;
+      const std::size_t ji = queue[static_cast<std::size_t>(qi)];
+      queue.erase(queue.begin() + qi);
+      const Job& j = jobs[ji];
+      const bool is_long = j.estimate >= threshold;
+      free_gpus -= j.gpus;
+      if (is_long) long_gpus_busy += j.gpus;
+      running.push(Running{now + j.duration, j.gpus, is_long, ji});
+      outcomes_[ji] = JobOutcome{j, now, now + j.duration};
+      const double wait = now - j.submit_time;
+      total_wait += wait;
+      max_wait = std::max(max_wait, wait);
+      total_turnaround += wait + j.duration;
+      busy_gpu_time += j.duration * j.gpus;
+    }
+  };
+
+  while (next_arrival < jobs.size() || !running.empty() || !queue.empty()) {
+    // Advance to the next event.
+    double t_event = -1.0;
+    const bool have_arrival = next_arrival < jobs.size();
+    const bool have_finish = !running.empty();
+    if (have_arrival && (!have_finish ||
+                         jobs[next_arrival].submit_time <=
+                             running.top().finish)) {
+      t_event = jobs[next_arrival].submit_time;
+      now = std::max(now, t_event);
+      while (next_arrival < jobs.size() &&
+             jobs[next_arrival].submit_time <= now) {
+        queue.push_back(next_arrival++);
+      }
+    } else if (have_finish) {
+      const Running r = running.top();
+      running.pop();
+      now = r.finish;
+      free_gpus += r.gpus;
+      if (r.is_long) long_gpus_busy -= r.gpus;
+      ++m.completed;
+    } else {
+      break;  // only queued infeasible jobs remain (shouldn't happen)
+    }
+    launch_all_possible();
+  }
+
+  m.makespan = now;
+  const double n = static_cast<double>(jobs.size());
+  m.mean_wait = total_wait / n;
+  m.max_wait = max_wait;
+  m.mean_turnaround = total_turnaround / n;
+  m.utilization =
+      m.makespan > 0.0
+          ? busy_gpu_time / (static_cast<double>(cfg_.num_gpus) * m.makespan)
+          : 0.0;
+  m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+  return m;
+}
+
+std::vector<Job> make_workload(const WorkloadConfig& cfg) {
+  core::Rng rng(cfg.seed);
+  std::vector<Job> jobs(cfg.num_jobs);
+  double t = 0.0;
+  for (std::size_t i = 0; i < cfg.num_jobs; ++i) {
+    Job& j = jobs[i];
+    j.id = i;
+    j.duration = rng.gamma(cfg.duration_shape,
+                           cfg.mean_duration / cfg.duration_shape);
+    j.estimate = j.duration;
+    if (cfg.estimate_noise > 0.0) {
+      j.estimate *= std::max(0.05, 1.0 + cfg.estimate_noise * rng.normal());
+    }
+    if (cfg.arrival_rate > 0.0) {
+      t += rng.exponential(cfg.arrival_rate);
+      j.submit_time = t;
+    }
+  }
+  return jobs;
+}
+
+}  // namespace coe::sched

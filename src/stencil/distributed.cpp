@@ -1,0 +1,165 @@
+#include "stencil/distributed.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace coe::stencil {
+
+namespace {
+
+constexpr double kC0 = -30.0 / 12.0;
+constexpr double kC1 = 16.0 / 12.0;
+constexpr double kC2 = -1.0 / 12.0;
+
+}  // namespace
+
+DistributedWaveResult distributed_wave_run(
+    int ranks, const DistributedWaveConfig& cfg,
+    const std::function<double(double, double, double)>& u0) {
+  assert(cfg.nx % static_cast<std::size_t>(ranks) == 0);
+  const std::size_t lnx = cfg.nx / static_cast<std::size_t>(ranks);
+  const std::size_t my = cfg.ny + 4, mz = cfg.nz + 4;
+  const std::size_t plane = my * mz;
+  const double h = cfg.length / static_cast<double>(cfg.nx + 1);
+  const double dt =
+      cfg.dt_factor * 0.5 * h / (cfg.c * std::sqrt(3.0) * 1.16);
+  const double cdt2 = cfg.c * cfg.c * dt * dt;
+  const double ih2 = 1.0 / (h * h);
+
+  DistributedWaveResult result;
+  result.dt = dt;
+  result.field.assign(cfg.nx * cfg.ny * cfg.nz, 0.0);
+
+  result.traffic = mpi::run(ranks, [&](mpi::Communicator& comm) {
+    const auto r = static_cast<std::size_t>(comm.rank());
+    const bool first = comm.rank() == 0;
+    const bool last = comm.rank() + 1 == ranks;
+    const std::size_t mx = lnx + 4;
+    std::vector<double> u(mx * plane, 0.0), up(mx * plane, 0.0),
+        un(mx * plane, 0.0);
+    auto idx = [&](std::size_t a, std::size_t j, std::size_t k) {
+      return (a * my + j) * mz + k;
+    };
+
+    // Initial condition on the interior.
+    for (std::size_t a = 2; a < lnx + 2; ++a) {
+      const std::size_t gi = r * lnx + (a - 2);
+      const double x = h * static_cast<double>(gi + 1);
+      for (std::size_t j = 0; j < cfg.ny; ++j) {
+        for (std::size_t k = 0; k < cfg.nz; ++k) {
+          u[idx(a, j + 2, k + 2)] =
+              u0(x, h * double(j + 1), h * double(k + 1));
+        }
+      }
+    }
+
+    auto fill_yz_walls = [&] {
+      for (std::size_t a = 0; a < mx; ++a) {
+        for (std::size_t k = 0; k < mz; ++k) {
+          u[idx(a, 1, k)] = 0.0;
+          u[idx(a, 0, k)] = -u[idx(a, 2, k)];
+          u[idx(a, my - 2, k)] = 0.0;
+          u[idx(a, my - 1, k)] = -u[idx(a, my - 3, k)];
+        }
+        for (std::size_t j = 0; j < my; ++j) {
+          u[idx(a, j, 1)] = 0.0;
+          u[idx(a, j, 0)] = -u[idx(a, j, 2)];
+          u[idx(a, j, mz - 2)] = 0.0;
+          u[idx(a, j, mz - 1)] = -u[idx(a, j, mz - 3)];
+        }
+      }
+    };
+
+    auto exchange_x = [&] {
+      auto plane_of = [&](std::size_t a) {
+        return std::vector<double>(u.begin() + std::ptrdiff_t(a * plane),
+                                   u.begin() + std::ptrdiff_t((a + 1) * plane));
+      };
+      auto put_plane = [&](std::size_t a, const std::vector<double>& p) {
+        std::copy(p.begin(), p.end(),
+                  u.begin() + std::ptrdiff_t(a * plane));
+      };
+      if (!first) {
+        comm.send(comm.rank() - 1, /*tag=*/20, plane_of(2));
+        comm.send(comm.rank() - 1, 21, plane_of(3));
+      }
+      if (!last) {
+        comm.send(comm.rank() + 1, 22, plane_of(lnx));
+        comm.send(comm.rank() + 1, 23, plane_of(lnx + 1));
+      }
+      if (!last) {
+        put_plane(lnx + 2, comm.recv(comm.rank() + 1, 20));
+        put_plane(lnx + 3, comm.recv(comm.rank() + 1, 21));
+      }
+      if (!first) {
+        put_plane(0, comm.recv(comm.rank() - 1, 22));
+        put_plane(1, comm.recv(comm.rank() - 1, 23));
+      }
+      // Global x walls: odd reflection (matches the serial solver).
+      if (first) {
+        for (std::size_t p = 0; p < plane; ++p) {
+          u[1 * plane + p] = 0.0;
+          u[0 * plane + p] = -u[2 * plane + p];
+        }
+      }
+      if (last) {
+        for (std::size_t p = 0; p < plane; ++p) {
+          u[(lnx + 2) * plane + p] = 0.0;
+          u[(lnx + 3) * plane + p] = -u[(lnx + 1) * plane + p];
+        }
+      }
+    };
+
+    auto lap_at = [&](std::size_t id) {
+      const std::size_t si = plane, sj = mz;
+      const double lx = kC2 * (u[id - 2 * si] + u[id + 2 * si]) +
+                        kC1 * (u[id - si] + u[id + si]) + kC0 * u[id];
+      const double ly = kC2 * (u[id - 2 * sj] + u[id + 2 * sj]) +
+                        kC1 * (u[id - sj] + u[id + sj]) + kC0 * u[id];
+      const double lz = kC2 * (u[id - 2] + u[id + 2]) +
+                        kC1 * (u[id - 1] + u[id + 1]) + kC0 * u[id];
+      return (lx + ly + lz) * ih2;
+    };
+
+    // Taylor backstep for u_prev (v0 = 0).
+    fill_yz_walls();
+    exchange_x();
+    for (std::size_t a = 2; a < lnx + 2; ++a) {
+      for (std::size_t j = 2; j < cfg.ny + 2; ++j) {
+        for (std::size_t k = 2; k < cfg.nz + 2; ++k) {
+          const std::size_t id = idx(a, j, k);
+          up[id] = u[id] + 0.5 * cdt2 * lap_at(id);
+        }
+      }
+    }
+
+    for (int s = 0; s < cfg.steps; ++s) {
+      fill_yz_walls();
+      exchange_x();
+      for (std::size_t a = 2; a < lnx + 2; ++a) {
+        for (std::size_t j = 2; j < cfg.ny + 2; ++j) {
+          for (std::size_t k = 2; k < cfg.nz + 2; ++k) {
+            const std::size_t id = idx(a, j, k);
+            un[id] = 2.0 * u[id] - up[id] + cdt2 * lap_at(id);
+          }
+        }
+      }
+      std::swap(up, u);
+      std::swap(u, un);
+    }
+
+    // Gather into the shared global field (disjoint slabs: no race).
+    for (std::size_t a = 2; a < lnx + 2; ++a) {
+      const std::size_t gi = r * lnx + (a - 2);
+      for (std::size_t j = 0; j < cfg.ny; ++j) {
+        for (std::size_t k = 0; k < cfg.nz; ++k) {
+          result.field[(gi * cfg.ny + j) * cfg.nz + k] =
+              u[idx(a, j + 2, k + 2)];
+        }
+      }
+    }
+  });
+  return result;
+}
+
+}  // namespace coe::stencil

@@ -1,0 +1,144 @@
+// Tests for the data-analytics module: digamma, corpus generation, LDA
+// learning (perplexity decrease, topic recovery), and the Spark stage
+// cost model (optimized stack beats default, >2x).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytics/lda.hpp"
+#include "analytics/spark.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(Digamma, MatchesKnownValues) {
+  // digamma(1) = -gamma_E; digamma(0.5) = -gamma_E - 2 ln 2.
+  const double gamma_e = 0.5772156649015329;
+  EXPECT_NEAR(analytics::digamma(1.0), -gamma_e, 1e-10);
+  EXPECT_NEAR(analytics::digamma(0.5), -gamma_e - 2.0 * std::log(2.0),
+              1e-10);
+  // Recurrence: psi(x+1) = psi(x) + 1/x.
+  for (double x : {0.3, 1.7, 4.2}) {
+    EXPECT_NEAR(analytics::digamma(x + 1.0),
+                analytics::digamma(x) + 1.0 / x, 1e-10);
+  }
+}
+
+TEST(Corpus, GeneratorShapes) {
+  analytics::CorpusConfig cfg;
+  cfg.vocab = 300;
+  cfg.topics = 4;
+  cfg.docs = 50;
+  cfg.words_per_doc = 80;
+  auto corpus = analytics::generate_corpus(cfg);
+  EXPECT_EQ(corpus.docs.size(), 50u);
+  EXPECT_EQ(corpus.true_beta.size(), 4u * 300u);
+  for (std::size_t k = 0; k < 4; ++k) {
+    double sum = 0.0;
+    for (std::size_t w = 0; w < 300; ++w) sum += corpus.true_beta[k * 300 + w];
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+  for (const auto& d : corpus.docs) {
+    EXPECT_NEAR(d.total(), 80.0, 1e-9);
+    for (auto w : d.words) EXPECT_LT(w, 300u);
+  }
+}
+
+TEST(Lda, PerplexityDecreasesMonotonically) {
+  analytics::CorpusConfig ccfg;
+  ccfg.vocab = 200;
+  ccfg.topics = 4;
+  ccfg.docs = 80;
+  ccfg.words_per_doc = 60;
+  auto corpus = analytics::generate_corpus(ccfg);
+  analytics::LdaConfig lcfg;
+  lcfg.topics = 4;
+  analytics::LdaModel model(corpus.vocab, lcfg);
+  const double untrained = model.perplexity(corpus);
+  auto trace = model.train(corpus, 12);
+  // EM perplexity must improve substantially and (near) monotonically.
+  EXPECT_LT(trace.back(), 0.5 * untrained);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LT(trace[i], trace[i - 1] * 1.02) << "iteration " << i;
+  }
+}
+
+TEST(Lda, RecoversWellSeparatedTopics) {
+  analytics::CorpusConfig ccfg;
+  ccfg.vocab = 150;
+  ccfg.topics = 3;
+  ccfg.docs = 200;
+  ccfg.words_per_doc = 120;
+  ccfg.doc_alpha = 0.1;   // nearly single-topic documents
+  ccfg.topic_eta = 0.02;  // very sparse topics
+  auto corpus = analytics::generate_corpus(ccfg);
+  analytics::LdaConfig lcfg;
+  lcfg.topics = 3;
+  analytics::LdaModel model(corpus.vocab, lcfg);
+  model.train(corpus, 25);
+  EXPECT_GT(analytics::topic_recovery_score(model, corpus), 0.7);
+}
+
+TEST(Lda, InferenceFavorsDominantTopic) {
+  analytics::CorpusConfig ccfg;
+  ccfg.vocab = 100;
+  ccfg.topics = 2;
+  ccfg.docs = 150;
+  ccfg.words_per_doc = 100;
+  ccfg.doc_alpha = 0.05;
+  auto corpus = analytics::generate_corpus(ccfg);
+  analytics::LdaConfig lcfg;
+  lcfg.topics = 2;
+  analytics::LdaModel model(corpus.vocab, lcfg);
+  model.train(corpus, 20);
+  // For most documents the inferred gamma should be clearly skewed.
+  std::size_t skewed = 0;
+  for (const auto& d : corpus.docs) {
+    auto g = model.infer_document(d);
+    const double frac = std::max(g[0], g[1]) / (g[0] + g[1]);
+    skewed += frac > 0.7;
+  }
+  EXPECT_GT(skewed, corpus.docs.size() / 2);
+}
+
+TEST(Spark, OptimizedStackAtLeast2xOn32Nodes) {
+  // Large-dictionary LDA: the K x V sufficient statistics dominate the
+  // exchange (the Wikipedia run shuffles multi-GB statistics per node).
+  analytics::LdaIterationProfile prof;
+  prof.compute_flops_per_node = 2.0e12;
+  prof.shuffle_bytes_per_pair = 150.0e6;
+  prof.aggregate_bytes_per_node = 1.5e9;
+  const auto node = hsim::machines::power9();
+  const auto net = hsim::clusters::sierra(32);
+  const auto def = analytics::cost_iteration(prof, analytics::default_stack(),
+                                             node, net, 32);
+  const auto opt = analytics::cost_iteration(
+      prof, analytics::optimized_stack(), node, net, 32);
+  EXPECT_GT(def.total(), 2.0 * opt.total());
+  // Compute itself is unchanged -- only overheads shrink.
+  EXPECT_NEAR(def.compute, opt.compute, 1e-12);
+  EXPECT_GT(def.jvm, opt.jvm);
+  EXPECT_GT(def.shuffle, opt.shuffle);
+  EXPECT_GT(def.aggregate, opt.aggregate);
+}
+
+TEST(Spark, DefaultAggregateScalesWorseWithNodes) {
+  analytics::LdaIterationProfile prof;
+  prof.compute_flops_per_node = 1.0e12;
+  prof.shuffle_bytes_per_pair = 10.0e6;
+  prof.aggregate_bytes_per_node = 200.0e6;
+  const auto node = hsim::machines::power9();
+  auto ratio_at = [&](int nodes) {
+    const auto net = hsim::clusters::sierra(nodes);
+    const auto def = analytics::cost_iteration(
+        prof, analytics::default_stack(), node, net, nodes);
+    const auto opt = analytics::cost_iteration(
+        prof, analytics::optimized_stack(), node, net, nodes);
+    return def.aggregate / opt.aggregate;
+  };
+  // The scalability gap widens with node count (tree vs linear gather).
+  EXPECT_GT(ratio_at(256), 2.0 * ratio_at(16));
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Tests for the VBL module: FFT correctness (vs naive DFT, round trip,
+// Parseval), transpose variants, split-step physics (power conservation,
+// Gaussian spreading vs the analytic Rayleigh range, gain, defect ripples),
+// and the GPUDirect/cudaMemcpy crossover model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "beamline/vbl.hpp"
+#include "core/rng.hpp"
+
+namespace {
+
+using namespace coe;
+using beamline::cplx;
+
+std::vector<cplx> random_signal(std::size_t n, std::uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<cplx> a(n);
+  for (auto& v : a) v = cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  return a;
+}
+
+class FftSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizes, MatchesNaiveDft) {
+  const std::size_t n = GetParam();
+  auto a = random_signal(n, n);
+  auto ref = beamline::dft_reference(a, false);
+  auto ctx = core::make_seq();
+  beamline::fft(ctx, a, false);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(a[k].real(), ref[k].real(), 1e-9) << "n=" << n << " k=" << k;
+    EXPECT_NEAR(a[k].imag(), ref[k].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersAndNot, FftSizes,
+                         ::testing::Values(1, 2, 8, 16, 64, 3, 5, 12, 100));
+
+TEST(Fft, RoundTripIsIdentity) {
+  for (std::size_t n : {16u, 48u, 128u}) {
+    auto a = random_signal(n, 3 * n);
+    const auto orig = a;
+    auto ctx = core::make_seq();
+    beamline::fft(ctx, a, false);
+    beamline::fft(ctx, a, true);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(a[k].real(), orig[k].real(), 1e-10);
+      EXPECT_NEAR(a[k].imag(), orig[k].imag(), 1e-10);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  const std::size_t n = 256;
+  auto a = random_signal(n, 9);
+  double time_energy = 0.0;
+  for (const auto& v : a) time_energy += std::norm(v);
+  auto ctx = core::make_seq();
+  beamline::fft(ctx, a, false);
+  double freq_energy = 0.0;
+  for (const auto& v : a) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * static_cast<double>(n),
+              1e-8 * freq_energy);
+}
+
+TEST(Fft, LinearityAndDelta) {
+  // FFT of a delta is all-ones.
+  std::vector<cplx> d(32, cplx(0, 0));
+  d[0] = cplx(1, 0);
+  auto ctx = core::make_seq();
+  beamline::fft(ctx, d, false);
+  for (const auto& v : d) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Transpose, TiledMatchesNaive) {
+  const std::size_t rows = 37, cols = 53;
+  auto in = random_signal(rows * cols, 17);
+  std::vector<cplx> t1, t2;
+  auto ctx = core::make_seq();
+  beamline::transpose(ctx, in, t1, rows, cols, beamline::TransposeKind::Naive);
+  beamline::transpose(ctx, in, t2, rows, cols, beamline::TransposeKind::Tiled);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t k = 0; k < t1.size(); ++k) EXPECT_EQ(t1[k], t2[k]);
+  // Spot-check the math.
+  EXPECT_EQ(t1[5 * rows + 3], in[3 * cols + 5]);
+}
+
+TEST(Transpose, NaiveChargesMoreTraffic) {
+  auto in = random_signal(64 * 64, 23);
+  std::vector<cplx> out;
+  auto c1 = core::make_device();
+  auto c2 = core::make_device();
+  beamline::transpose(c1, in, out, 64, 64, beamline::TransposeKind::Naive);
+  beamline::transpose(c2, in, out, 64, 64, beamline::TransposeKind::Tiled);
+  EXPECT_GT(c1.counters().bytes, c2.counters().bytes);
+}
+
+TEST(Fft2d, MatchesSeparableDft) {
+  const std::size_t n = 16;
+  auto a = random_signal(n * n, 31);
+  auto expect = a;
+  // Rows then columns with the reference DFT.
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<cplx> row(expect.begin() + static_cast<std::ptrdiff_t>(r * n),
+                          expect.begin() +
+                              static_cast<std::ptrdiff_t>((r + 1) * n));
+    auto fr = beamline::dft_reference(row, false);
+    std::copy(fr.begin(), fr.end(),
+              expect.begin() + static_cast<std::ptrdiff_t>(r * n));
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<cplx> col(n);
+    for (std::size_t r = 0; r < n; ++r) col[r] = expect[r * n + c];
+    auto fc = beamline::dft_reference(col, false);
+    for (std::size_t r = 0; r < n; ++r) expect[r * n + c] = fc[r];
+  }
+  auto ctx = core::make_seq();
+  beamline::fft2d(ctx, a, n, false);
+  for (std::size_t k = 0; k < n * n; ++k) {
+    EXPECT_NEAR(a[k].real(), expect[k].real(), 1e-9);
+    EXPECT_NEAR(a[k].imag(), expect[k].imag(), 1e-9);
+  }
+}
+
+TEST(Vbl, FreeSpacePowerConserved) {
+  auto ctx = core::make_seq();
+  beamline::VblConfig cfg;
+  cfg.n = 64;
+  beamline::Beamline beam(ctx, cfg);
+  beam.set_gaussian(0.002);
+  const double p0 = beam.total_power();
+  beam.propagate(2.0);
+  EXPECT_NEAR(beam.total_power(), p0, 1e-9 * p0);
+}
+
+TEST(Vbl, GaussianSpreadsAtRayleighRate) {
+  auto ctx = core::make_seq();
+  beamline::VblConfig cfg;
+  cfg.n = 128;
+  cfg.physical_size = 0.02;
+  cfg.dz = 0.5;
+  beamline::Beamline beam(ctx, cfg);
+  const double w0 = 0.001;
+  beam.set_gaussian(w0);
+  const double width0 = beam.beam_width();
+  const double k0 = 2.0 * M_PI / cfg.wavelength;
+  const double zr = 0.5 * k0 * w0 * w0;  // Rayleigh range
+  beam.propagate(2.0 * zr);
+  // w(z)/w(0) = sqrt(1 + (z/zR)^2) = sqrt(5) at z = 2 zR.
+  EXPECT_NEAR(beam.beam_width() / width0, std::sqrt(5.0), 0.1);
+}
+
+TEST(Vbl, AmplifierAddsPowerUntilSaturation) {
+  auto ctx = core::make_seq();
+  beamline::VblConfig cfg;
+  cfg.n = 32;
+  cfg.gain0 = 1.0;
+  cfg.i_sat = 0.5;
+  beamline::Beamline beam(ctx, cfg);
+  beam.set_gaussian(0.002, 0.1);
+  const double p0 = beam.total_power();
+  beam.step();
+  const double p1 = beam.total_power();
+  EXPECT_GT(p1, p0);
+  // Gain per unit power shrinks as intensity approaches saturation.
+  beamline::Beamline hot(ctx, cfg);
+  hot.set_gaussian(0.002, 10.0);
+  const double h0 = hot.total_power();
+  hot.step();
+  EXPECT_LT(hot.total_power() / h0, p1 / p0);
+}
+
+TEST(Vbl, PhaseDefectsCreateDownstreamRipples) {
+  // The Figure 9 experiment: two small phase defects grow fluence ripples
+  // after propagation; a clean beam does not.
+  auto run = [](bool defects) {
+    auto ctx = core::make_seq();
+    beamline::VblConfig cfg;
+    cfg.n = 128;
+    cfg.physical_size = 0.01;
+    cfg.dz = 1.0;
+    beamline::Beamline beam(ctx, cfg);
+    beam.set_gaussian(0.003);
+    if (defects) {
+      beam.add_phase_defect(0.004, 0.004, 150e-6, M_PI / 2);
+      beam.add_phase_defect(0.0055, 0.0045, 150e-6, M_PI / 2);
+    }
+    beam.propagate(10.0);
+    return beam.fluence_contrast();
+  };
+  const double clean = run(false);
+  const double rippled = run(true);
+  EXPECT_GT(rippled, 1.05 * clean);
+}
+
+TEST(Transfers, CrossoverPointsMatchPaper) {
+  const auto gd_h2d = beamline::gpudirect_h2d();
+  const auto gd_d2h = beamline::gpudirect_d2h();
+  const auto mc = beamline::cudamemcpy_path();
+  const double h2d_cross = beamline::crossover_bytes(gd_h2d, mc);
+  const double d2h_cross = beamline::crossover_bytes(gd_d2h, mc);
+  // "cudaMemcpy ... will overtake GPUDirect for transfers of a few
+  // kilobytes or more [H2D]; and ... a few hundred bytes or more [D2H]."
+  EXPECT_GT(h2d_cross, 1024.0);
+  EXPECT_LT(h2d_cross, 16.0 * 1024.0);
+  EXPECT_GT(d2h_cross, 100.0);
+  EXPECT_LT(d2h_cross, 1024.0);
+  // Below the crossover GPUDirect wins; above, memcpy wins.
+  EXPECT_LT(gd_h2d.time(256), mc.time(256));
+  EXPECT_GT(gd_h2d.time(1 << 20), mc.time(1 << 20));
+}
+
+
+TEST(Vbl, GainDoesNotDistortBeamShape) {
+  // The saturating amplifier multiplies intensity but (well below
+  // saturation) leaves the normalized profile nearly unchanged.
+  auto ctx = core::make_seq();
+  beamline::VblConfig cfg;
+  cfg.n = 64;
+  cfg.gain0 = 0.2;
+  cfg.i_sat = 1e6;  // far from saturation: uniform gain
+  beamline::Beamline beam(ctx, cfg);
+  beam.set_gaussian(0.002, 0.01);
+  const double w0 = beam.beam_width();
+  beam.step();
+  EXPECT_NEAR(beam.beam_width(), w0, 0.02 * w0);
+}
+
+TEST(Fft2d, TransposeKindDoesNotChangeResult) {
+  const std::size_t n = 32;
+  auto a = random_signal(n * n, 77);
+  auto b = a;
+  auto ctx = core::make_seq();
+  beamline::fft2d(ctx, a, n, false, beamline::TransposeKind::Naive);
+  beamline::fft2d(ctx, b, n, false, beamline::TransposeKind::Tiled);
+  for (std::size_t k = 0; k < n * n; ++k) {
+    EXPECT_EQ(a[k], b[k]);
+  }
+}
+
+}  // namespace

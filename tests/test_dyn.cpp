@@ -1,0 +1,92 @@
+// Tests for the ParaDyn module: variant equivalence, exact load/store
+// accounting, and the Figure 6 relationships (fusion halves traffic, DSE
+// trims stores further).
+#include <gtest/gtest.h>
+
+#include "dyn/paradyn.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(Paradyn, AllVariantsComputeIdenticalState) {
+  const std::size_t n = 4096;
+  dyn::ElementArrays base(n);
+  auto ctx = core::make_seq();
+
+  dyn::ElementArrays a = base, b = base, c = base;
+  dyn::run_update(ctx, a, 50, dyn::LoopVariant::SmallLoops);
+  dyn::run_update(ctx, b, 50, dyn::LoopVariant::Fused);
+  dyn::run_update(ctx, c, 50, dyn::LoopVariant::FusedDse);
+  for (std::size_t i = 0; i < n; i += 97) {
+    EXPECT_DOUBLE_EQ(a.v[i], b.v[i]);
+    EXPECT_DOUBLE_EQ(a.e[i], b.e[i]);
+    EXPECT_DOUBLE_EQ(a.v[i], c.v[i]);
+    EXPECT_DOUBLE_EQ(a.e[i], c.e[i]);
+  }
+  EXPECT_DOUBLE_EQ(dyn::state_checksum(a), dyn::state_checksum(c));
+}
+
+TEST(Paradyn, PhysicallyPlausibleDamping) {
+  // The chain is a damped oscillator per element: velocity magnitude must
+  // shrink over time.
+  dyn::ElementArrays a(256);
+  double v0 = 0.0;
+  for (double v : a.v) v0 += v * v;
+  auto ctx = core::make_seq();
+  dyn::run_update(ctx, a, 2000, dyn::LoopVariant::FusedDse);
+  double v1 = 0.0;
+  for (double v : a.v) v1 += v * v;
+  EXPECT_LT(v1, v0);
+}
+
+TEST(Paradyn, TrafficCountsExact) {
+  const std::size_t n = 1000;
+  dyn::ElementArrays a(n);
+  auto ctx = core::make_seq();
+  auto small = dyn::run_update(ctx, a, 1, dyn::LoopVariant::SmallLoops);
+  EXPECT_EQ(small.loads, 12u * n);
+  EXPECT_EQ(small.stores, 7u * n);
+  EXPECT_EQ(small.kernels, 7u);
+  auto fused = dyn::run_update(ctx, a, 1, dyn::LoopVariant::Fused);
+  EXPECT_EQ(fused.loads, 4u * n);
+  EXPECT_EQ(fused.stores, 7u * n);
+  EXPECT_EQ(fused.kernels, 1u);
+  auto dse = dyn::run_update(ctx, a, 1, dyn::LoopVariant::FusedDse);
+  EXPECT_EQ(dse.loads, 4u * n);
+  EXPECT_EQ(dse.stores, 5u * n);
+}
+
+TEST(Paradyn, Figure6Relationships) {
+  const std::size_t n = 1 << 14;
+  dyn::ElementArrays a(n);
+  auto ctx = core::make_seq();
+  const auto small = dyn::run_update(ctx, a, 1, dyn::LoopVariant::SmallLoops);
+  const auto fused = dyn::run_update(ctx, a, 1, dyn::LoopVariant::Fused);
+  const auto dse = dyn::run_update(ctx, a, 1, dyn::LoopVariant::FusedDse);
+  // SLNSP roughly halves total traffic (the paper's ~2X), dominated by the
+  // 3X load reduction.
+  const double fusion_gain = double(small.total()) / double(fused.total());
+  EXPECT_GT(fusion_gain, 1.5);
+  EXPECT_LT(fusion_gain, 2.5);
+  EXPECT_EQ(small.loads / fused.loads, 3u);
+  // DSE trims the dead stores for an additional ~20% traffic cut.
+  const double dse_gain = double(fused.total()) / double(dse.total());
+  EXPECT_GT(dse_gain, 1.1);
+  EXPECT_LT(dse_gain, 1.4);
+}
+
+TEST(Paradyn, LaunchOverheadVisibleOnDevice) {
+  // On the modeled GPU, seven launches per step vs one: the launch-count
+  // difference is exactly 6 per step.
+  dyn::ElementArrays a(128);
+  auto gpu1 = core::make_device();
+  auto gpu2 = core::make_device();
+  dyn::run_update(gpu1, a, 10, dyn::LoopVariant::SmallLoops);
+  dyn::run_update(gpu2, a, 10, dyn::LoopVariant::Fused);
+  EXPECT_EQ(gpu1.counters().launches, 70u);
+  EXPECT_EQ(gpu2.counters().launches, 10u);
+  EXPECT_GT(gpu1.simulated_time(), gpu2.simulated_time());
+}
+
+}  // namespace

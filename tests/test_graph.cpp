@@ -1,0 +1,148 @@
+// Tests for the graph module: RMAT properties, CSR construction, BFS
+// correctness across modes (validated Graph500-style), and the Table 2
+// capacity/rate model.
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+
+namespace {
+
+using namespace coe;
+
+graph::Graph make_test_graph(std::size_t scale, std::uint64_t seed) {
+  core::Rng rng(seed);
+  auto edges = graph::rmat_edges(scale, 16, rng);
+  return graph::Graph(std::size_t{1} << scale, edges);
+}
+
+TEST(Rmat, EdgeCountAndRange) {
+  core::Rng rng(3);
+  auto edges = graph::rmat_edges(10, 16, rng);
+  EXPECT_EQ(edges.size(), 16u * 1024u);
+  for (const auto& [u, v] : edges) {
+    EXPECT_LT(u, 1024u);
+    EXPECT_LT(v, 1024u);
+  }
+}
+
+TEST(Rmat, SkewedDegreeDistribution) {
+  auto g = make_test_graph(12, 5);
+  std::size_t max_deg = 0;
+  double sum_deg = 0.0;
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    sum_deg += static_cast<double>(g.degree(v));
+  }
+  const double mean = sum_deg / static_cast<double>(g.num_vertices());
+  // Power-law-ish: hub degree far above the mean.
+  EXPECT_GT(static_cast<double>(max_deg), 20.0 * mean);
+}
+
+TEST(Graph, CsrRoundTrip) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{
+      {0, 1}, {1, 2}, {2, 0}, {3, 3}};  // self loop dropped
+  graph::Graph g(4, edges);
+  EXPECT_EQ(g.num_directed_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+}
+
+class BfsModes : public ::testing::TestWithParam<graph::BfsMode> {};
+
+TEST_P(BfsModes, ValidParentTreeOnRmat) {
+  auto g = make_test_graph(11, 7);
+  auto ctx = core::make_seq();
+  // Pick a root with nonzero degree.
+  std::uint32_t root = 0;
+  while (g.degree(root) == 0) ++root;
+  auto r = graph::bfs(ctx, g, root, GetParam());
+  EXPECT_TRUE(graph::validate_bfs(g, root, r));
+  EXPECT_GT(r.reached, g.num_vertices() / 4);
+  EXPECT_GT(r.edges_traversed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, BfsModes,
+                         ::testing::Values(graph::BfsMode::TopDown,
+                                           graph::BfsMode::BottomUp,
+                                           graph::BfsMode::Hybrid));
+
+TEST(Bfs, ModesAgreeOnReachability) {
+  auto g = make_test_graph(10, 11);
+  auto ctx = core::make_seq();
+  std::uint32_t root = 0;
+  while (g.degree(root) == 0) ++root;
+  auto td = graph::bfs(ctx, g, root, graph::BfsMode::TopDown);
+  auto bu = graph::bfs(ctx, g, root, graph::BfsMode::BottomUp);
+  auto hy = graph::bfs(ctx, g, root, graph::BfsMode::Hybrid);
+  EXPECT_EQ(td.reached, bu.reached);
+  EXPECT_EQ(td.reached, hy.reached);
+  EXPECT_EQ(td.levels, bu.levels);
+}
+
+TEST(Bfs, HybridTraversesFewerEdgesThanTopDown) {
+  // Direction optimization pays off on low-diameter RMAT graphs.
+  auto g = make_test_graph(12, 13);
+  auto ctx = core::make_seq();
+  std::uint32_t root = 0;
+  while (g.degree(root) == 0) ++root;
+  auto td = graph::bfs(ctx, g, root, graph::BfsMode::TopDown);
+  auto hy = graph::bfs(ctx, g, root, graph::BfsMode::Hybrid);
+  EXPECT_LT(hy.edges_traversed, td.edges_traversed);
+}
+
+TEST(Bfs, DisconnectedVerticesUnreached) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges{{0, 1}, {1, 2}};
+  graph::Graph g(5, edges);
+  auto ctx = core::make_seq();
+  auto r = graph::bfs(ctx, g, 0);
+  EXPECT_EQ(r.reached, 3u);
+  EXPECT_EQ(r.parent[3], -1);
+  EXPECT_EQ(r.parent[4], -1);
+  EXPECT_TRUE(graph::validate_bfs(g, 0, r));
+}
+
+TEST(ScaleModel, CapacityGrowsWithStorage) {
+  graph::GraphSystem small{"small", hsim::machines::cpu_2011(),
+                           hsim::clusters::ethernet(1), 1,
+                           64.0 * double(1ull << 30), 0.0, 1e9};
+  graph::GraphSystem big = small;
+  big.node_dram_bytes *= 64.0;
+  auto ps = graph::scale_model(small, 20.0, 24.0);
+  auto pb = graph::scale_model(big, 20.0, 24.0);
+  EXPECT_EQ(pb.max_scale, ps.max_scale + 6);  // 64x storage = +6 scale
+}
+
+TEST(ScaleModel, FlashEnablesLargerScaleButThrottlesRate) {
+  graph::GraphSystem dram_only{"dram", hsim::machines::cpu_2014(),
+                               hsim::clusters::ethernet(1), 1,
+                               128.0 * double(1ull << 30), 0.0, 1e9};
+  graph::GraphSystem with_flash = dram_only;
+  with_flash.node_flash_bytes = 16.0 * 1024.0 * double(1ull << 30);
+  auto pd = graph::scale_model(dram_only, 20.0, 24.0);
+  auto pf = graph::scale_model(with_flash, 20.0, 24.0);
+  EXPECT_GT(pf.max_scale, pd.max_scale);  // NVMe enables larger graphs...
+  EXPECT_LT(pf.gteps, pd.gteps);          // ...at external-memory rates
+  EXPECT_STREQ(pf.bound_by, "flash I/O");
+}
+
+TEST(ScaleModel, MoreNodesMoreGtepsWithEfficiencyLoss) {
+  graph::GraphSystem one{"1 node", hsim::machines::cpu_2014(),
+                         hsim::clusters::ethernet(1), 1,
+                         128.0 * double(1ull << 30), 0.0, 1e9};
+  graph::GraphSystem many = one;
+  many.nodes = 300;
+  many.network = hsim::clusters::ethernet(300);
+  auto p1 = graph::scale_model(one, 20.0, 24.0);
+  auto pn = graph::scale_model(many, 20.0, 24.0);
+  EXPECT_GT(pn.gteps, p1.gteps);           // scales up...
+  EXPECT_LT(pn.gteps, 300.0 * p1.gteps);   // ...sublinearly
+}
+
+TEST(ScaleModel, BytesPerEdgeFromRealRunIsSane) {
+  auto g = make_test_graph(11, 17);
+  const double bpe = graph::measured_bytes_per_edge(g);
+  EXPECT_GT(bpe, 4.0);
+  EXPECT_LT(bpe, 64.0);
+}
+
+}  // namespace

@@ -1,0 +1,185 @@
+// Tests for the deep-learning module: NN gradient correctness and training,
+// distributed algorithms (KAVG vs ASGD claims), stream-ensemble machinery,
+// and the LBANN scaling model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/ml.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(DenseNet, GradientMatchesFiniteDifference) {
+  ml::DenseNet net({4, 6, 3}, 2);
+  core::Rng rng(3);
+  std::vector<double> x(4);
+  for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+  const std::size_t label = 1;
+  std::vector<double> grad(net.num_params(), 0.0);
+  net.loss_and_grad(x, label, grad);
+  // Check a sampling of parameters.
+  for (std::size_t k = 0; k < net.num_params(); k += 7) {
+    const double h = 1e-6;
+    std::vector<double> p(net.params().begin(), net.params().end());
+    p[k] += h;
+    net.set_params(p);
+    std::vector<double> dummy(net.num_params(), 0.0);
+    const double lp = net.loss_and_grad(x, label, dummy);
+    p[k] -= 2.0 * h;
+    net.set_params(p);
+    std::fill(dummy.begin(), dummy.end(), 0.0);
+    const double lm = net.loss_and_grad(x, label, dummy);
+    p[k] += h;
+    net.set_params(p);
+    EXPECT_NEAR(grad[k], (lp - lm) / (2.0 * h), 1e-4)
+        << "param " << k;
+  }
+}
+
+TEST(DenseNet, PredictsProbabilities) {
+  ml::DenseNet net({3, 5, 4}, 1);
+  std::vector<double> x{0.1, -0.2, 0.5};
+  auto p = net.predict(x);
+  ASSERT_EQ(p.size(), 4u);
+  double sum = 0.0;
+  for (double v : p) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(DenseNet, LearnsBlobs) {
+  auto ds = ml::make_blobs(400, 6, 4, 2.0, 5);
+  ml::DenseNet net({6, 16, 4}, 7);
+  const double acc0 = net.accuracy(ds.x, ds.y, ds.nfeat);
+  ml::TrainConfig cfg;
+  cfg.epochs = 30;
+  ml::train_sgd(net, ds.x, ds.y, ds.nfeat, cfg);
+  const double acc1 = net.accuracy(ds.x, ds.y, ds.nfeat);
+  EXPECT_GT(acc1, 0.9);
+  EXPECT_GT(acc1, acc0);
+}
+
+TEST(Distributed, SyncSgdConverges) {
+  auto ds = ml::make_blobs(300, 8, 3, 2.0, 9);
+  ml::DenseNet net({8, 12, 3}, 11);
+  ml::DistConfig cfg;
+  cfg.gradient_budget = 1200;
+  auto res = ml::train_distributed(net, ds, ml::DistAlgo::SyncSgd, cfg);
+  EXPECT_FALSE(res.diverged);
+  EXPECT_GT(res.final_accuracy, 0.85);
+}
+
+TEST(Distributed, KavgReducesCommRounds) {
+  auto ds = ml::make_blobs(300, 8, 3, 2.0, 9);
+  ml::DistConfig cfg;
+  cfg.gradient_budget = 1200;
+  cfg.k = 8;
+  ml::DenseNet n1({8, 12, 3}, 11), n2({8, 12, 3}, 11);
+  auto sync = ml::train_distributed(n1, ds, ml::DistAlgo::SyncSgd, cfg);
+  auto kavg = ml::train_distributed(n2, ds, ml::DistAlgo::Kavg, cfg);
+  EXPECT_FALSE(kavg.diverged);
+  // One reduction per K local steps vs one per step.
+  EXPECT_LT(kavg.comm_rounds * 4, sync.comm_rounds);
+  // And still trains.
+  EXPECT_GT(kavg.final_accuracy, 0.85);
+}
+
+TEST(Distributed, AsgdUnstableAtKavgLearningRate) {
+  // The paper's core claim: "the learning rate assumed for ASGD
+  // convergence is usually too small for practical purposes" -- at a rate
+  // where KAVG is fine, stale gradients hurt ASGD badly.
+  auto ds = ml::make_blobs(300, 8, 3, 2.0, 17);
+  ml::DistConfig cfg;
+  cfg.gradient_budget = 1800;
+  cfg.learners = 16;
+  cfg.lr = 0.9;
+  cfg.k = 4;
+  ml::DenseNet na({8, 12, 3}, 11), nk({8, 12, 3}, 11);
+  auto asgd = ml::train_distributed(na, ds, ml::DistAlgo::Asgd, cfg);
+  auto kavg = ml::train_distributed(nk, ds, ml::DistAlgo::Kavg, cfg);
+  EXPECT_FALSE(kavg.diverged);
+  EXPECT_GT(kavg.final_accuracy, 0.8);
+  // ASGD either diverges or lands clearly behind.
+  if (!asgd.diverged) {
+    EXPECT_LT(asgd.final_accuracy, kavg.final_accuracy);
+  }
+}
+
+TEST(Streams, CalibrationHitsTargets) {
+  ml::StreamsConfig cfg;
+  cfg.classes = 51;
+  cfg.train_samples = 1500;
+  cfg.test_samples = 2500;
+  cfg.target_accuracy = {0.61, 0.56, 0.59};
+  auto ds = ml::generate_streams(cfg);
+  for (std::size_t s = 0; s < 3; ++s) {
+    EXPECT_NEAR(ml::stream_accuracy(ds.test, s), cfg.target_accuracy[s],
+                0.04)
+        << "stream " << s;
+  }
+}
+
+TEST(Streams, EnsembleBeatsBestSingleStream) {
+  ml::StreamsConfig cfg;
+  cfg.classes = 51;
+  cfg.train_samples = 1500;
+  cfg.test_samples = 2500;
+  cfg.target_accuracy = {0.61, 0.56, 0.59};
+  auto ds = ml::generate_streams(cfg);
+  double best_single = 0.0;
+  for (std::size_t s = 0; s < 3; ++s) {
+    best_single = std::max(best_single, ml::stream_accuracy(ds.test, s));
+  }
+  const double avg = ml::combine_simple_average(ds.test);
+  EXPECT_GT(avg, best_single + 0.02);
+}
+
+TEST(Streams, LearnedCombinersAreCompetitive) {
+  ml::StreamsConfig cfg;
+  cfg.classes = 21;  // small for test speed
+  cfg.train_samples = 1200;
+  cfg.test_samples = 1200;
+  cfg.target_accuracy = {0.70, 0.65, 0.68};
+  auto ds = ml::generate_streams(cfg);
+  const double avg = ml::combine_simple_average(ds.test);
+  const double lr = ml::combine_logistic_regression(ds.train, ds.test);
+  const double nn = ml::combine_shallow_nn(ds.train, ds.test);
+  // Learned combiners must at least approach the averaging baseline.
+  EXPECT_GT(lr, avg - 0.05);
+  EXPECT_GT(nn, avg - 0.05);
+  EXPECT_GT(lr, ml::stream_accuracy(ds.test, 1));
+}
+
+TEST(Lbann, Figure3SpeedupShape) {
+  ml::LbannModel m;
+  const auto v100 = hsim::machines::v100();
+  // Near-perfect 2 -> 4 scaling; 2.8x at 8; 3.4x at 16.
+  EXPECT_NEAR(ml::sample_speedup(m, v100, 4), 1.9, 0.25);
+  EXPECT_NEAR(ml::sample_speedup(m, v100, 8), 2.8, 0.3);
+  EXPECT_NEAR(ml::sample_speedup(m, v100, 16), 3.4, 0.4);
+}
+
+TEST(Lbann, WeakScalingIsFlat) {
+  ml::LbannModel m;
+  const auto v100 = hsim::machines::v100();
+  // Same GPUs/sample, more replicas: step time grows only by the
+  // allreduce log term.
+  const auto t64 = ml::train_step_time(m, v100,
+                                       hsim::clusters::sierra(16), 64, 4);
+  const auto t2048 = ml::train_step_time(
+      m, v100, hsim::clusters::sierra(512), 2048, 4);
+  EXPECT_LT(t2048, 1.5 * t64);
+}
+
+TEST(Lbann, MemoryForcesAtLeastTwoGpus) {
+  ml::LbannModel m;
+  EXPECT_GE(m.min_gpus_per_sample, 2u);
+  EXPECT_GT(m.weight_bytes + m.activation_bytes,
+            hsim::machines::v100().mem_capacity);
+}
+
+}  // namespace

@@ -1,0 +1,269 @@
+// Tests for the mini-SUNDIALS module: NVector operations and the RK4,
+// RK23, and BDF integrators on problems with known solutions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "la/la.hpp"
+#include "ode/ode.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(NVector, OperationsMatchReference) {
+  auto ctx = core::make_seq();
+  ode::NVector x(ctx, 4), y(ctx, 4), z(ctx, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.data()[i] = double(i + 1);
+    y.data()[i] = 2.0;
+  }
+  z.linear_sum(2.0, x, -1.0, y);
+  EXPECT_DOUBLE_EQ(z.data()[0], 0.0);
+  EXPECT_DOUBLE_EQ(z.data()[3], 6.0);
+  EXPECT_DOUBLE_EQ(x.dot(y), 20.0);
+  EXPECT_DOUBLE_EQ(x.max_norm(), 4.0);
+  z.fill(3.0);
+  z.scale(2.0);
+  EXPECT_DOUBLE_EQ(z.data()[2], 6.0);
+  z.axpy(1.0, x);
+  EXPECT_DOUBLE_EQ(z.data()[0], 7.0);
+}
+
+TEST(NVector, WrmsNormIsScaleAware) {
+  auto ctx = core::make_seq();
+  ode::NVector err(ctx, 2), ref(ctx, 2);
+  ref.data()[0] = 1.0;
+  ref.data()[1] = 1000.0;
+  err.data()[0] = 1e-6;
+  err.data()[1] = 1e-3;
+  // rtol=1e-6, atol=0: both components are exactly at weight 1.
+  EXPECT_NEAR(err.wrms_norm(ref, 1e-6, 0.0), 1.0, 1e-12);
+}
+
+// Scalar exponential decay: y' = -k y.
+class Decay final : public ode::OdeRhs {
+ public:
+  explicit Decay(double k) : k_(k) {}
+  void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
+    const double k = k_;
+    auto yd = ydot.data();
+    auto ys = y.data();
+    y.ctx().forall(y.size(), {1.0, 16.0},
+                   [&](std::size_t i) { yd[i] = -k * ys[i]; });
+  }
+
+ private:
+  double k_;
+};
+
+// Harmonic oscillator: energy-conserving reference for RK4 accuracy.
+class Oscillator final : public ode::OdeRhs {
+ public:
+  void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
+    ydot.data()[0] = y.data()[1];
+    ydot.data()[1] = -y.data()[0];
+  }
+};
+
+TEST(Rk4, FourthOrderConvergence) {
+  auto ctx = core::make_seq();
+  Oscillator osc;
+  auto err_at = [&](std::size_t steps) {
+    ode::NVector y(ctx, 2);
+    y.data()[0] = 1.0;
+    y.data()[1] = 0.0;
+    ode::Rk4 rk;
+    rk.integrate(osc, 0.0, 2.0 * M_PI, steps, y);
+    return std::abs(y.data()[0] - 1.0) + std::abs(y.data()[1]);
+  };
+  const double e1 = err_at(50);
+  const double e2 = err_at(100);
+  const double rate = std::log2(e1 / e2);
+  EXPECT_NEAR(rate, 4.0, 0.3);
+}
+
+TEST(Rk23, AdaptiveMatchesExactDecay) {
+  auto ctx = core::make_seq();
+  Decay rhs(2.0);
+  ode::NVector y(ctx, 3, 1.0);
+  ode::AdaptiveOptions opts;
+  opts.rtol = 1e-8;
+  opts.atol = 1e-10;
+  ode::Rk23 rk(opts);
+  auto stats = rk.integrate(rhs, 0.0, 1.0, y);
+  EXPECT_GT(stats.steps, 10u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(y.data()[i], std::exp(-2.0), 1e-6);
+  }
+}
+
+TEST(Rk23, TightensStepsWithTolerance) {
+  auto ctx = core::make_seq();
+  Decay rhs(5.0);
+  auto steps_at = [&](double rtol) {
+    ode::NVector y(ctx, 1, 1.0);
+    ode::AdaptiveOptions opts;
+    opts.rtol = rtol;
+    opts.atol = rtol * 1e-2;
+    ode::Rk23 rk(opts);
+    return rk.integrate(rhs, 0.0, 1.0, y).steps;
+  };
+  EXPECT_GT(steps_at(1e-9), steps_at(1e-4));
+}
+
+TEST(Bdf, FunctionalIterationNonstiff) {
+  auto ctx = core::make_seq();
+  Decay rhs(1.0);
+  ode::NVector y(ctx, 2, 1.0);
+  ode::BdfOptions opts;
+  opts.rtol = 1e-7;
+  opts.atol = 1e-10;
+  opts.dt_init = 1e-3;
+  ode::Bdf bdf(opts);
+  auto stats = bdf.integrate(rhs, nullptr, 0.0, 1.0, y);
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_NEAR(y.data()[0], std::exp(-1.0), 1e-4);
+}
+
+// Stiff linear system y' = A y with A = -L (graph Laplacian-like):
+// Newton via an exact dense linear solver.
+class StiffLinearRhs final : public ode::OdeRhs {
+ public:
+  explicit StiffLinearRhs(const la::CsrMatrix& a) : a_(&a) {}
+  void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
+    a_->spmv(y.ctx(), y.data(), ydot.data());
+    ydot.scale(-1.0);
+  }
+
+ private:
+  const la::CsrMatrix* a_;
+};
+
+class DenseNewtonSolver final : public ode::OdeLinearSolver {
+ public:
+  explicit DenseNewtonSolver(const la::CsrMatrix& a) : a_(&a) {}
+  void setup(double, const ode::NVector&, double gamma) override {
+    const std::size_t n = a_->rows();
+    la::DenseMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    // I - gamma*J with J = -A  =>  I + gamma*A.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = a_->rowptr()[i]; k < a_->rowptr()[i + 1]; ++k) {
+        m(i, a_->colind()[k]) += gamma * a_->values()[k];
+      }
+    }
+    lu_ = std::make_unique<la::LuFactor>(m);
+  }
+  void solve(const ode::NVector& r, ode::NVector& x) override {
+    x.copy_from(r);
+    lu_->solve(x.data());
+  }
+
+ private:
+  const la::CsrMatrix* a_;
+  std::unique_ptr<la::LuFactor> lu_;
+};
+
+TEST(Bdf, NewtonHandlesStiffSystem) {
+  auto ctx = core::make_seq();
+  // Stiff: Poisson matrix scaled up (eigenvalues up to ~8 * 100).
+  auto a = la::poisson2d(6, 6);
+  for (auto& v : a.values()) v *= 100.0;
+  StiffLinearRhs rhs(a);
+  DenseNewtonSolver newton(a);
+
+  ode::NVector y(ctx, a.rows(), 1.0);
+  ode::BdfOptions opts;
+  opts.rtol = 1e-6;
+  opts.atol = 1e-9;
+  opts.dt_init = 1e-4;
+  ode::Bdf bdf(opts);
+  auto stats = bdf.integrate(rhs, &newton, 0.0, 0.5, y);
+  EXPECT_GT(stats.newton_iters, 0u);
+  EXPECT_GT(stats.lin_setups, 0u);
+
+  // Reference via many small RK4 steps.
+  ode::NVector yref(ctx, a.rows(), 1.0);
+  ode::Rk4 rk;
+  rk.integrate(rhs, 0.0, 0.5, 20000, yref);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y.data()[i], yref.data()[i], 1e-4);
+  }
+}
+
+TEST(Bdf, StiffProblemNeedsFarFewerStepsThanExplicit) {
+  auto ctx = core::make_seq();
+  auto a = la::poisson2d(6, 6);
+  for (auto& v : a.values()) v *= 1000.0;  // stiffer
+  StiffLinearRhs rhs(a);
+  DenseNewtonSolver newton(a);
+
+  // Loose tolerances and a long horizon: the explicit method is pinned to
+  // its stability limit long after the transient has decayed, while BDF is
+  // limited only by accuracy.
+  ode::NVector yb(ctx, a.rows(), 1.0);
+  ode::BdfOptions bopts;
+  bopts.rtol = 1e-3;
+  bopts.atol = 1e-6;
+  ode::Bdf bdf(bopts);
+  auto bdf_stats = bdf.integrate(rhs, &newton, 0.0, 5.0, yb);
+
+  ode::NVector ye(ctx, a.rows(), 1.0);
+  ode::AdaptiveOptions eopts;
+  eopts.rtol = 1e-3;
+  eopts.atol = 1e-6;
+  ode::Rk23 rk(eopts);
+  auto rk_stats = rk.integrate(rhs, 0.0, 5.0, ye);
+
+  // Explicit stability bound forces tiny steps; BDF cruises.
+  EXPECT_LT(bdf_stats.steps * 5, rk_stats.steps);
+}
+
+
+TEST(Bdf, StatsAreInternallyConsistent) {
+  auto ctx = core::make_seq();
+  Decay rhs(3.0);
+  ode::NVector y(ctx, 4, 1.0);
+  ode::BdfOptions opts;
+  opts.rtol = 1e-6;
+  opts.atol = 1e-9;
+  ode::Bdf bdf(opts);
+  auto stats = bdf.integrate(rhs, nullptr, 0.0, 1.0, y);
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GE(stats.rhs_evals, stats.steps);        // >= 1 eval per step
+  EXPECT_GE(stats.newton_iters, stats.steps);     // >= 1 iter per solve
+  EXPECT_GT(stats.last_dt, 0.0);
+}
+
+TEST(Bdf, TighterToleranceMoreSteps) {
+  auto ctx = core::make_seq();
+  Decay rhs(2.0);
+  auto steps_at = [&](double rtol) {
+    ode::NVector y(ctx, 1, 1.0);
+    ode::BdfOptions opts;
+    opts.rtol = rtol;
+    opts.atol = rtol * 1e-3;
+    ode::Bdf bdf(opts);
+    return bdf.integrate(rhs, nullptr, 0.0, 2.0, y).steps;
+  };
+  EXPECT_GT(steps_at(1e-8), steps_at(1e-3));
+}
+
+TEST(Rk4, ExactForLinearDynamics) {
+  // RK4 is exact for polynomial solutions of degree <= 4; y' = const is
+  // the simplest sanity anchor.
+  auto ctx = core::make_seq();
+  struct Const final : ode::OdeRhs {
+    void eval(double, const ode::NVector&, ode::NVector& ydot) override {
+      ydot.fill(2.0);
+    }
+  } rhs;
+  ode::NVector y(ctx, 2, 1.0);
+  ode::Rk4 rk;
+  rk.integrate(rhs, 0.0, 3.0, 7, y);
+  EXPECT_NEAR(y.data()[0], 7.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+// Tests for the Cardioid module: rational-fit accuracy, HH membrane
+// behaviour (rest, excitation, refractoriness), libm-vs-rational kernel
+// agreement, wave propagation in tissue, and placement accounting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "reaction/monodomain.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(RationalFit, ApproximatesExpTightly) {
+  reaction::RationalFit fit([](double x) { return std::exp(x); }, -3.0, 3.0,
+                            8, 6);
+  EXPECT_LT(fit.max_relative_error([](double x) { return std::exp(x); }),
+            1e-6);
+}
+
+TEST(RationalFit, ExactForLowDegreePolynomials) {
+  auto poly = [](double x) { return 2.0 + 3.0 * x - x * x; };
+  reaction::RationalFit fit(poly, -1.0, 2.0, 3, 0);
+  EXPECT_LT(fit.max_relative_error(poly), 1e-11);
+}
+
+TEST(RationalFit, SpecializedMatchesRuntime) {
+  auto f = [](double x) { return std::exp(-x * x); };
+  reaction::RationalFit fit(f, -2.0, 2.0, 6, 4);
+  reaction::SpecializedRational<6, 4> spec(fit);
+  for (double x = -2.0; x <= 2.0; x += 0.05) {
+    EXPECT_NEAR(spec(x), fit(x), 1e-14);
+  }
+}
+
+TEST(RationalFit, HigherDegreeReducesError) {
+  auto f = [](double x) { return std::exp(x); };
+  reaction::RationalFit lo(f, -4.0, 4.0, 3, 2);
+  reaction::RationalFit hi(f, -4.0, 4.0, 8, 6);
+  EXPECT_LT(hi.max_relative_error(f), 0.01 * lo.max_relative_error(f));
+}
+
+TEST(Rates, SingularityHandledSmoothly) {
+  // alpha_m has a removable singularity at v = -40.
+  const double left = reaction::rates::alpha_m(-40.0 - 1e-8);
+  const double mid = reaction::rates::alpha_m(-40.0);
+  const double right = reaction::rates::alpha_m(-40.0 + 1e-8);
+  EXPECT_NEAR(left, mid, 1e-6);
+  EXPECT_NEAR(right, mid, 1e-6);
+  EXPECT_NEAR(mid, 1.0, 1e-3);  // limit = 0.1 * s = 1.0
+}
+
+TEST(Membrane, RationalRatesFitWithinTolerance) {
+  // The dt-baked Rush-Larsen updates are harder to fit than the raw rates;
+  // ~2e-4 relative error keeps trajectories within 1 mV of libm (checked
+  // end-to-end in RationalKernelTracksLibm below).
+  reaction::MembraneKernel kernel(reaction::RateKind::Rational);
+  EXPECT_LT(kernel.fit_error(), 1e-3);
+}
+
+TEST(Membrane, RestingStateIsStable) {
+  reaction::MembraneKernel kernel(reaction::RateKind::Libm);
+  std::vector<reaction::CellState> cells(4);
+  auto ctx = core::make_seq();
+  for (int s = 0; s < 2000; ++s) kernel.step(ctx, cells, 0.01);
+  for (const auto& c : cells) {
+    EXPECT_NEAR(c.v, -65.0, 1.5);  // stays near rest
+  }
+}
+
+TEST(Membrane, StimulusTriggersActionPotential) {
+  reaction::MembraneKernel kernel(reaction::RateKind::Libm);
+  std::vector<reaction::CellState> cells(1);
+  auto ctx = core::make_seq();
+  double vmax = -100.0;
+  for (int s = 0; s < 200; ++s) {  // 2 ms stimulus
+    kernel.step(ctx, cells, 0.01, 20.0, 0, 1);
+  }
+  for (int s = 0; s < 3000; ++s) {
+    kernel.step(ctx, cells, 0.01);
+    vmax = std::max(vmax, cells[0].v);
+  }
+  EXPECT_GT(vmax, 20.0);          // overshoot above 0 mV
+  EXPECT_LT(cells[0].v, -55.0);   // repolarized afterwards
+}
+
+TEST(Membrane, RationalKernelTracksLibm) {
+  reaction::MembraneKernel exact(reaction::RateKind::Libm);
+  reaction::MembraneKernel approx(reaction::RateKind::Rational);
+  std::vector<reaction::CellState> a(1), b(1);
+  auto ctx = core::make_seq();
+  double worst = 0.0;
+  for (int s = 0; s < 1500; ++s) {
+    const double stim = s < 200 ? 20.0 : 0.0;
+    exact.step(ctx, a, 0.01, stim, 0, 1);
+    approx.step(ctx, b, 0.01, stim, 0, 1);
+    worst = std::max(worst, std::abs(a[0].v - b[0].v));
+  }
+  // Trajectories agree through a full action potential.
+  EXPECT_LT(worst, 1.0);  // < 1 mV through a ~100 mV excursion
+}
+
+TEST(Monodomain, WavePropagatesAcrossTissue) {
+  auto gpu = core::make_device();
+  auto cpu = core::make_cpu();
+  reaction::TissueConfig cfg;
+  cfg.nx = 48;
+  cfg.ny = 16;
+  reaction::Monodomain tissue(gpu, cpu, cfg);
+  // Stimulate the left edge.
+  tissue.stimulate(0, 4, 0, cfg.ny, 80.0, 3.0);
+  tissue.run(1.0);
+  EXPECT_GT(tissue.voltage(2, cfg.ny / 2), 0.0);    // left edge fired
+  EXPECT_LT(tissue.voltage(40, cfg.ny / 2), -50.0);  // far side at rest
+  double far_max = -1e300;
+  for (int ms = 0; ms < 20; ++ms) {
+    tissue.run(1.0);
+    far_max = std::max(far_max, tissue.voltage(40, cfg.ny / 2));
+  }
+  EXPECT_GT(far_max, 0.0) << "wave never reached the far side";
+}
+
+TEST(Monodomain, SplitPlacementPaysTransfersEveryStep) {
+  auto run = [](reaction::TissuePlacement placement) {
+    auto gpu = core::make_device();
+    auto cpu = core::make_cpu();
+    reaction::TissueConfig cfg;
+    cfg.nx = 16;
+    cfg.ny = 16;
+    cfg.placement = placement;
+    reaction::Monodomain tissue(gpu, cpu, cfg);
+    const auto before = gpu.counters().transfers;
+    for (int s = 0; s < 10; ++s) tissue.step();
+    return gpu.counters().transfers - before;
+  };
+  EXPECT_EQ(run(reaction::TissuePlacement::AllGpu), 0u);
+  EXPECT_EQ(run(reaction::TissuePlacement::SplitCpuDiffusion), 20u);
+}
+
+TEST(Monodomain, PlacementsAgreeNumerically) {
+  auto gpu1 = core::make_device();
+  auto cpu1 = core::make_cpu();
+  auto gpu2 = core::make_device();
+  auto cpu2 = core::make_cpu();
+  reaction::TissueConfig cfg;
+  cfg.nx = 24;
+  cfg.ny = 8;
+  reaction::Monodomain a(gpu1, cpu1, cfg);
+  cfg.placement = reaction::TissuePlacement::SplitCpuDiffusion;
+  reaction::Monodomain b(gpu2, cpu2, cfg);
+  a.stimulate(0, 4, 0, 8, 30.0, 2.0);
+  b.stimulate(0, 4, 0, 8, 30.0, 2.0);
+  a.run(5.0);
+  b.run(5.0);
+  for (std::size_t i = 0; i < cfg.nx; ++i) {
+    for (std::size_t j = 0; j < cfg.ny; ++j) {
+      EXPECT_NEAR(a.voltage(i, j), b.voltage(i, j), 1e-12);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Tests for the sw4lite wave-propagation module: spatial convergence,
+// dispersion against the analytic standing wave, option equivalence
+// (tiled/fused variants change cost, never numerics), forcing, and the
+// halo-exchange model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stencil/wave.hpp"
+
+namespace {
+
+using namespace coe;
+
+double standing_wave_error(std::size_t n, bool tiled, bool fused) {
+  // u = sin(pi x) sin(pi y) sin(pi z) cos(omega t) on [0,1]^3, c = 1,
+  // omega = sqrt(3) pi.
+  auto ctx = core::make_seq();
+  stencil::WaveOptions opts;
+  opts.tiled = tiled;
+  opts.fused = fused;
+  stencil::WaveSolver solver(ctx, n, n, n, 1.0, 1.0, opts);
+  const double dt = 0.2 * solver.stable_dt();
+  auto u0 = [](double x, double y, double z) {
+    return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+  };
+  solver.set_initial(u0, [](double, double, double) { return 0.0; }, dt);
+  const double t_end = 0.25;
+  const auto steps = static_cast<std::size_t>(t_end / dt);
+  for (std::size_t s = 0; s < steps; ++s) solver.step(dt);
+  const double omega = std::sqrt(3.0) * M_PI;
+  const double tt = solver.time();
+  double err = 0.0;
+  const double h = solver.h();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t k = 0; k < n; ++k) {
+        const double exact = u0(h * double(i + 1), h * double(j + 1),
+                                h * double(k + 1)) *
+                             std::cos(omega * tt);
+        err = std::max(err, std::abs(solver.at(i, j, k) - exact));
+      }
+    }
+  }
+  return err;
+}
+
+TEST(Wave, MatchesAnalyticStandingWave) {
+  EXPECT_LT(standing_wave_error(15, false, true), 5e-3);
+}
+
+TEST(Wave, SpatialConvergence) {
+  const double e1 = standing_wave_error(7, false, true);
+  const double e2 = standing_wave_error(15, false, true);
+  // Mixed 4th-space/2nd-time scheme at fixed dt/h ratio: expect at least
+  // 2nd-order reduction, typically much better.
+  EXPECT_LT(e2, e1 / 3.5);
+}
+
+TEST(Wave, TiledAndUnfusedVariantsAreBitwiseCompatible) {
+  const std::size_t n = 9;
+  for (bool tiled : {false, true}) {
+    for (bool fused : {false, true}) {
+      const double e = standing_wave_error(n, tiled, fused);
+      const double ref = standing_wave_error(n, false, true);
+      EXPECT_NEAR(e, ref, 1e-13) << "tiled=" << tiled << " fused=" << fused;
+    }
+  }
+}
+
+TEST(Wave, TilingCutsModeledBytes) {
+  auto ctx = core::make_seq();
+  stencil::WaveOptions naive;
+  naive.tiled = false;
+  stencil::WaveOptions tiled;
+  tiled.tiled = true;
+  stencil::WaveSolver a(ctx, 8, 8, 8, 1.0, 1.0, naive);
+  stencil::WaveSolver b(ctx, 8, 8, 8, 1.0, 1.0, tiled);
+  EXPECT_GT(a.bytes_per_point(), 2.0 * b.bytes_per_point());
+  EXPECT_DOUBLE_EQ(a.flops_per_point(), b.flops_per_point());
+}
+
+TEST(Wave, FusionHalvesLaunchCount) {
+  auto count_launches = [](bool fused) {
+    auto ctx = core::make_device();
+    stencil::WaveOptions opts;
+    opts.fused = fused;
+    stencil::WaveSolver solver(ctx, 6, 6, 6, 1.0, 1.0, opts);
+    const double dt = solver.stable_dt();
+    const auto before = ctx.counters().launches;
+    for (int s = 0; s < 10; ++s) solver.step(dt);
+    return ctx.counters().launches - before;
+  };
+  // Fused: update + shake-map = 2/step. Unfused adds the lap kernel.
+  EXPECT_EQ(count_launches(true) + 10, count_launches(false));
+}
+
+TEST(Wave, PointSourceRadiatesEnergy) {
+  auto ctx = core::make_seq();
+  stencil::WaveSolver solver(ctx, 17, 17, 17, 1.0, 1.0);
+  stencil::PointSource src;
+  src.i = src.j = src.k = 8;
+  src.amplitude = 100.0;
+  src.freq = 4.0;
+  src.t0 = 0.25;
+  solver.add_source(src);
+  const double dt = solver.stable_dt();
+  EXPECT_DOUBLE_EQ(solver.max_abs(), 0.0);
+  while (solver.time() < 0.5) solver.step(dt);
+  EXPECT_GT(solver.max_abs(), 1e-4);
+  // Shake map recorded something at the surface.
+  double smax = 0.0;
+  for (double v : solver.shake_map()) smax = std::max(smax, v);
+  EXPECT_GT(smax, 0.0);
+}
+
+TEST(Wave, HostForcingAddsTransfers) {
+  auto run = [](bool on_device) {
+    auto ctx = core::make_device();
+    stencil::WaveOptions opts;
+    opts.forcing_on_device = on_device;
+    stencil::WaveSolver solver(ctx, 6, 6, 6, 1.0, 1.0, opts);
+    solver.add_source({3, 3, 3, 1.0, 2.0, 0.1});
+    const double dt = solver.stable_dt();
+    for (int s = 0; s < 25; ++s) solver.step(dt);
+    return ctx.counters().transfers;
+  };
+  EXPECT_EQ(run(true), 0u);
+  EXPECT_EQ(run(false), 25u);
+}
+
+TEST(Wave, StableDtScalesWithResolution) {
+  auto ctx = core::make_seq();
+  stencil::WaveSolver coarse(ctx, 8, 8, 8, 1.0, 1.0);
+  stencil::WaveSolver fine(ctx, 16, 16, 16, 1.0, 1.0);
+  EXPECT_NEAR(coarse.stable_dt() / fine.stable_dt(), 17.0 / 9.0, 1e-12);
+}
+
+TEST(Halo, ExchangeTimeGrowsWithBlockSize) {
+  const auto net = hsim::clusters::sierra(256);
+  EXPECT_GT(stencil::halo_exchange_time(net, 512),
+            stencil::halo_exchange_time(net, 128));
+  // Latency floor: even a tiny halo costs six alpha terms.
+  EXPECT_GE(stencil::halo_exchange_time(net, 1), 6.0 * net.alpha);
+}
+
+}  // namespace

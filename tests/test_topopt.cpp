@@ -1,0 +1,120 @@
+// Tests for the Opt topology-optimization module: element stiffness
+// sanity, matrix-free vs assembled equivalence, optimization progress,
+// volume constraint, and the texture-cache byte model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "topopt/simp.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(ElementStiffness, SymmetricPositiveSemidefinite) {
+  const double* ke = topopt::TopOpt::element_stiffness();
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      EXPECT_NEAR(ke[i * 8 + j], ke[j * 8 + i], 1e-14);
+    }
+  }
+  // Rigid-body translation in x lies in the null space.
+  for (int i = 0; i < 8; ++i) {
+    double s = 0.0;
+    for (int j = 0; j < 8; j += 2) s += ke[i * 8 + j];
+    EXPECT_NEAR(s, 0.0, 1e-12);
+  }
+  // Diagonal positive.
+  for (int i = 0; i < 8; ++i) EXPECT_GT(ke[i * 8 + i], 0.0);
+}
+
+TEST(TopOpt, MatrixFreeMatchesAssembled) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 6;
+  cfg.nely = 4;
+  topopt::TopOpt opt(ctx, cfg);
+  auto a = opt.assemble();
+  core::Rng rng(3);
+  std::vector<double> u(opt.num_dofs()), y1(opt.num_dofs()),
+      y2(opt.num_dofs());
+  for (auto& v : u) v = rng.uniform(-1.0, 1.0);
+  opt.apply_stiffness(u, y1);
+  a.spmv(ctx, u, y2);
+  // The assembled operator eliminated fixed columns too, matching the
+  // matrix-free constrained semantics (identity on fixed dofs).
+  for (std::size_t d = 0; d < u.size(); ++d) {
+    EXPECT_NEAR(y1[d], y2[d], 1e-10) << "dof " << d;
+  }
+}
+
+TEST(TopOpt, ComplianceDecreasesAndVolumeHolds) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 24;
+  cfg.nely = 12;
+  topopt::TopOpt opt(ctx, cfg);
+  auto infos = opt.run(25);
+  EXPECT_LT(infos.back().compliance, 0.7 * infos.front().compliance);
+  for (const auto& it : infos) {
+    EXPECT_NEAR(it.volume, cfg.volfrac, 0.01);
+    EXPECT_GT(it.cg_iters, 0u);
+  }
+}
+
+TEST(TopOpt, DesignBecomesNearlyBinary) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 24;
+  cfg.nely = 12;
+  topopt::TopOpt opt(ctx, cfg);
+  opt.run(40);
+  std::size_t decided = 0;
+  for (double x : opt.densities()) {
+    decided += (x > 0.8 || x < 0.2);
+  }
+  EXPECT_GT(decided, opt.num_elements() / 2);
+}
+
+TEST(TopOpt, MaterialConnectsSupportToLoad) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 30;
+  cfg.nely = 10;
+  topopt::TopOpt opt(ctx, cfg);
+  opt.run(40);
+  // Every column of the cantilever must carry some material -- otherwise
+  // the load path is broken.
+  for (std::size_t ex = 0; ex < cfg.nelx; ++ex) {
+    double colmax = 0.0;
+    for (std::size_t ey = 0; ey < cfg.nely; ++ey) {
+      colmax = std::max(colmax, opt.density(ex, ey));
+    }
+    EXPECT_GT(colmax, 0.5) << "column " << ex;
+  }
+}
+
+TEST(TopOpt, TextureCacheShrinksModeledBytes) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig plain;
+  topopt::TopOptConfig tex;
+  tex.texture_cache = true;
+  topopt::TopOpt a(ctx, plain), b(ctx, tex);
+  EXPECT_GT(a.bytes_per_element(), b.bytes_per_element());
+}
+
+TEST(TopOpt, StiffnessDiagonalMatchesAssembled) {
+  auto ctx = core::make_seq();
+  topopt::TopOptConfig cfg;
+  cfg.nelx = 5;
+  cfg.nely = 3;
+  topopt::TopOpt opt(ctx, cfg);
+  auto d1 = opt.stiffness_diagonal();
+  auto d2 = opt.assemble().diagonal();
+  for (std::size_t i = 0; i < d1.size(); ++i) {
+    EXPECT_NEAR(d1[i], d2[i], 1e-12);
+  }
+}
+
+}  // namespace
