@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_lda.dir/fig2_lda.cpp.o"
+  "CMakeFiles/fig2_lda.dir/fig2_lda.cpp.o.d"
+  "fig2_lda"
+  "fig2_lda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_lda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

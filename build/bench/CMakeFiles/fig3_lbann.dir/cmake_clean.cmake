@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_lbann.dir/fig3_lbann.cpp.o"
+  "CMakeFiles/fig3_lbann.dir/fig3_lbann.cpp.o.d"
+  "fig3_lbann"
+  "fig3_lbann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_lbann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_paradyn.dir/fig6_paradyn.cpp.o"
+  "CMakeFiles/fig6_paradyn.dir/fig6_paradyn.cpp.o.d"
+  "fig6_paradyn"
+  "fig6_paradyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_paradyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec411_vbl.dir/sec411_vbl.cpp.o"
+  "CMakeFiles/sec411_vbl.dir/sec411_vbl.cpp.o.d"
+  "sec411_vbl"
+  "sec411_vbl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec411_vbl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

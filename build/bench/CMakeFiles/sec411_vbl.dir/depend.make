@@ -1,0 +1,2 @@
+# Empty dependencies file for sec411_vbl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec41_cardioid.dir/sec41_cardioid.cpp.o"
+  "CMakeFiles/sec41_cardioid.dir/sec41_cardioid.cpp.o.d"
+  "sec41_cardioid"
+  "sec41_cardioid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec41_cardioid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec41_cardioid.
+# This may be replaced when dependencies are built.

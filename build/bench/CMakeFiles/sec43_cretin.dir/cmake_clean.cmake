@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_cretin.dir/sec43_cretin.cpp.o"
+  "CMakeFiles/sec43_cretin.dir/sec43_cretin.cpp.o.d"
+  "sec43_cretin"
+  "sec43_cretin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_cretin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

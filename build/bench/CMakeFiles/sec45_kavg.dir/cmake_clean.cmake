@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec45_kavg.dir/sec45_kavg.cpp.o"
+  "CMakeFiles/sec45_kavg.dir/sec45_kavg.cpp.o.d"
+  "sec45_kavg"
+  "sec45_kavg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec45_kavg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec46_md.dir/sec46_md.cpp.o"
+  "CMakeFiles/sec46_md.dir/sec46_md.cpp.o.d"
+  "sec46_md"
+  "sec46_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec46_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec47_sched.dir/sec47_sched.cpp.o"
+  "CMakeFiles/sec47_sched.dir/sec47_sched.cpp.o.d"
+  "sec47_sched"
+  "sec47_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec47_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

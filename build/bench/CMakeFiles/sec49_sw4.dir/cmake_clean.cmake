@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec49_sw4.dir/sec49_sw4.cpp.o"
+  "CMakeFiles/sec49_sw4.dir/sec49_sw4.cpp.o.d"
+  "sec49_sw4"
+  "sec49_sw4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec49_sw4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_graph.dir/table2_graph.cpp.o"
+  "CMakeFiles/table2_graph.dir/table2_graph.cpp.o.d"
+  "table2_graph"
+  "table2_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_streams.dir/table3_streams.cpp.o"
+  "CMakeFiles/table3_streams.dir/table3_streams.cpp.o.d"
+  "table3_streams"
+  "table3_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

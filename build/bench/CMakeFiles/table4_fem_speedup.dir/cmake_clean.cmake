@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fem_speedup.dir/table4_fem_speedup.cpp.o"
+  "CMakeFiles/table4_fem_speedup.dir/table4_fem_speedup.cpp.o.d"
+  "table4_fem_speedup"
+  "table4_fem_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fem_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_fem_speedup.
+# This may be replaced when dependencies are built.

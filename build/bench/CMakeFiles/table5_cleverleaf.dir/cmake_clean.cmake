@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_cleverleaf.dir/table5_cleverleaf.cpp.o"
+  "CMakeFiles/table5_cleverleaf.dir/table5_cleverleaf.cpp.o.d"
+  "table5_cleverleaf"
+  "table5_cleverleaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_cleverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

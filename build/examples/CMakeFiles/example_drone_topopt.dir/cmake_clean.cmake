@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drone_topopt.dir/drone_topopt.cpp.o"
+  "CMakeFiles/example_drone_topopt.dir/drone_topopt.cpp.o.d"
+  "example_drone_topopt"
+  "example_drone_topopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drone_topopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_earthquake.dir/earthquake.cpp.o"
+  "CMakeFiles/example_earthquake.dir/earthquake.cpp.o.d"
+  "example_earthquake"
+  "example_earthquake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_earthquake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_heart.dir/heart.cpp.o"
+  "CMakeFiles/example_heart.dir/heart.cpp.o.d"
+  "example_heart"
+  "example_heart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_heart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

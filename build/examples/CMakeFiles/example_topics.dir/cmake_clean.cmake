@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_topics.dir/topics.cpp.o"
+  "CMakeFiles/example_topics.dir/topics.cpp.o.d"
+  "example_topics"
+  "example_topics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_topics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

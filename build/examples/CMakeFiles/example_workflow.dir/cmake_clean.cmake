@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_workflow.dir/workflow.cpp.o"
+  "CMakeFiles/example_workflow.dir/workflow.cpp.o.d"
+  "example_workflow"
+  "example_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

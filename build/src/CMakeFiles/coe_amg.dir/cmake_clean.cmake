@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_amg.dir/amg/boomeramg.cpp.o"
+  "CMakeFiles/coe_amg.dir/amg/boomeramg.cpp.o.d"
+  "CMakeFiles/coe_amg.dir/amg/struct_solver.cpp.o"
+  "CMakeFiles/coe_amg.dir/amg/struct_solver.cpp.o.d"
+  "libcoe_amg.a"
+  "libcoe_amg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_amg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_amr.dir/amr/euler.cpp.o"
+  "CMakeFiles/coe_amr.dir/amr/euler.cpp.o.d"
+  "CMakeFiles/coe_amr.dir/amr/patch.cpp.o"
+  "CMakeFiles/coe_amr.dir/amr/patch.cpp.o.d"
+  "CMakeFiles/coe_amr.dir/amr/two_level.cpp.o"
+  "CMakeFiles/coe_amr.dir/amr/two_level.cpp.o.d"
+  "libcoe_amr.a"
+  "libcoe_amr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_amr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/databroker.cpp" "src/CMakeFiles/coe_analytics.dir/analytics/databroker.cpp.o" "gcc" "src/CMakeFiles/coe_analytics.dir/analytics/databroker.cpp.o.d"
+  "/root/repo/src/analytics/lda.cpp" "src/CMakeFiles/coe_analytics.dir/analytics/lda.cpp.o" "gcc" "src/CMakeFiles/coe_analytics.dir/analytics/lda.cpp.o.d"
+  "/root/repo/src/analytics/spark.cpp" "src/CMakeFiles/coe_analytics.dir/analytics/spark.cpp.o" "gcc" "src/CMakeFiles/coe_analytics.dir/analytics/spark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

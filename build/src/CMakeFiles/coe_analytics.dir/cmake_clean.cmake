@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_analytics.dir/analytics/databroker.cpp.o"
+  "CMakeFiles/coe_analytics.dir/analytics/databroker.cpp.o.d"
+  "CMakeFiles/coe_analytics.dir/analytics/lda.cpp.o"
+  "CMakeFiles/coe_analytics.dir/analytics/lda.cpp.o.d"
+  "CMakeFiles/coe_analytics.dir/analytics/spark.cpp.o"
+  "CMakeFiles/coe_analytics.dir/analytics/spark.cpp.o.d"
+  "libcoe_analytics.a"
+  "libcoe_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

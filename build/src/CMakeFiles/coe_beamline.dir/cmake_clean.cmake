@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_beamline.dir/beamline/fft.cpp.o"
+  "CMakeFiles/coe_beamline.dir/beamline/fft.cpp.o.d"
+  "CMakeFiles/coe_beamline.dir/beamline/vbl.cpp.o"
+  "CMakeFiles/coe_beamline.dir/beamline/vbl.cpp.o.d"
+  "libcoe_beamline.a"
+  "libcoe_beamline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_beamline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

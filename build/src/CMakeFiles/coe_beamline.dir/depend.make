@@ -1,0 +1,2 @@
+# Empty dependencies file for coe_beamline.
+# This may be replaced when dependencies are built.

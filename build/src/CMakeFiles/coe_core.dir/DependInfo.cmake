@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost.cpp" "src/CMakeFiles/coe_core.dir/core/cost.cpp.o" "gcc" "src/CMakeFiles/coe_core.dir/core/cost.cpp.o.d"
+  "/root/repo/src/core/machine.cpp" "src/CMakeFiles/coe_core.dir/core/machine.cpp.o" "gcc" "src/CMakeFiles/coe_core.dir/core/machine.cpp.o.d"
+  "/root/repo/src/core/pool.cpp" "src/CMakeFiles/coe_core.dir/core/pool.cpp.o" "gcc" "src/CMakeFiles/coe_core.dir/core/pool.cpp.o.d"
+  "/root/repo/src/core/threadpool.cpp" "src/CMakeFiles/coe_core.dir/core/threadpool.cpp.o" "gcc" "src/CMakeFiles/coe_core.dir/core/threadpool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_core.dir/core/cost.cpp.o"
+  "CMakeFiles/coe_core.dir/core/cost.cpp.o.d"
+  "CMakeFiles/coe_core.dir/core/machine.cpp.o"
+  "CMakeFiles/coe_core.dir/core/machine.cpp.o.d"
+  "CMakeFiles/coe_core.dir/core/pool.cpp.o"
+  "CMakeFiles/coe_core.dir/core/pool.cpp.o.d"
+  "CMakeFiles/coe_core.dir/core/threadpool.cpp.o"
+  "CMakeFiles/coe_core.dir/core/threadpool.cpp.o.d"
+  "libcoe_core.a"
+  "libcoe_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_dyn.dir/dyn/paradyn.cpp.o"
+  "CMakeFiles/coe_dyn.dir/dyn/paradyn.cpp.o.d"
+  "libcoe_dyn.a"
+  "libcoe_dyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_dyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fem/basis.cpp" "src/CMakeFiles/coe_fem.dir/fem/basis.cpp.o" "gcc" "src/CMakeFiles/coe_fem.dir/fem/basis.cpp.o.d"
+  "/root/repo/src/fem/diffusion_app.cpp" "src/CMakeFiles/coe_fem.dir/fem/diffusion_app.cpp.o" "gcc" "src/CMakeFiles/coe_fem.dir/fem/diffusion_app.cpp.o.d"
+  "/root/repo/src/fem/elliptic.cpp" "src/CMakeFiles/coe_fem.dir/fem/elliptic.cpp.o" "gcc" "src/CMakeFiles/coe_fem.dir/fem/elliptic.cpp.o.d"
+  "/root/repo/src/fem/mesh.cpp" "src/CMakeFiles/coe_fem.dir/fem/mesh.cpp.o" "gcc" "src/CMakeFiles/coe_fem.dir/fem/mesh.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_fem.dir/fem/basis.cpp.o"
+  "CMakeFiles/coe_fem.dir/fem/basis.cpp.o.d"
+  "CMakeFiles/coe_fem.dir/fem/diffusion_app.cpp.o"
+  "CMakeFiles/coe_fem.dir/fem/diffusion_app.cpp.o.d"
+  "CMakeFiles/coe_fem.dir/fem/elliptic.cpp.o"
+  "CMakeFiles/coe_fem.dir/fem/elliptic.cpp.o.d"
+  "CMakeFiles/coe_fem.dir/fem/mesh.cpp.o"
+  "CMakeFiles/coe_fem.dir/fem/mesh.cpp.o.d"
+  "libcoe_fem.a"
+  "libcoe_fem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_fem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/coe_graph.dir/graph/bfs.cpp.o.d"
+  "libcoe_graph.a"
+  "libcoe_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kinetics/atomic.cpp" "src/CMakeFiles/coe_kinetics.dir/kinetics/atomic.cpp.o" "gcc" "src/CMakeFiles/coe_kinetics.dir/kinetics/atomic.cpp.o.d"
+  "/root/repo/src/kinetics/solver.cpp" "src/CMakeFiles/coe_kinetics.dir/kinetics/solver.cpp.o" "gcc" "src/CMakeFiles/coe_kinetics.dir/kinetics/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

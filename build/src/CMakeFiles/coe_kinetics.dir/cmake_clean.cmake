@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_kinetics.dir/kinetics/atomic.cpp.o"
+  "CMakeFiles/coe_kinetics.dir/kinetics/atomic.cpp.o.d"
+  "CMakeFiles/coe_kinetics.dir/kinetics/solver.cpp.o"
+  "CMakeFiles/coe_kinetics.dir/kinetics/solver.cpp.o.d"
+  "libcoe_kinetics.a"
+  "libcoe_kinetics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_kinetics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_la.dir/la/csr.cpp.o"
+  "CMakeFiles/coe_la.dir/la/csr.cpp.o.d"
+  "CMakeFiles/coe_la.dir/la/dense.cpp.o"
+  "CMakeFiles/coe_la.dir/la/dense.cpp.o.d"
+  "CMakeFiles/coe_la.dir/la/krylov.cpp.o"
+  "CMakeFiles/coe_la.dir/la/krylov.cpp.o.d"
+  "CMakeFiles/coe_la.dir/la/smoothers.cpp.o"
+  "CMakeFiles/coe_la.dir/la/smoothers.cpp.o.d"
+  "libcoe_la.a"
+  "libcoe_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_md.dir/md/forces.cpp.o"
+  "CMakeFiles/coe_md.dir/md/forces.cpp.o.d"
+  "CMakeFiles/coe_md.dir/md/neighbor.cpp.o"
+  "CMakeFiles/coe_md.dir/md/neighbor.cpp.o.d"
+  "CMakeFiles/coe_md.dir/md/particles.cpp.o"
+  "CMakeFiles/coe_md.dir/md/particles.cpp.o.d"
+  "libcoe_md.a"
+  "libcoe_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

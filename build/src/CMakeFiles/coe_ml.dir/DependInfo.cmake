@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/distributed.cpp" "src/CMakeFiles/coe_ml.dir/ml/distributed.cpp.o" "gcc" "src/CMakeFiles/coe_ml.dir/ml/distributed.cpp.o.d"
+  "/root/repo/src/ml/lbann.cpp" "src/CMakeFiles/coe_ml.dir/ml/lbann.cpp.o" "gcc" "src/CMakeFiles/coe_ml.dir/ml/lbann.cpp.o.d"
+  "/root/repo/src/ml/nn.cpp" "src/CMakeFiles/coe_ml.dir/ml/nn.cpp.o" "gcc" "src/CMakeFiles/coe_ml.dir/ml/nn.cpp.o.d"
+  "/root/repo/src/ml/streams.cpp" "src/CMakeFiles/coe_ml.dir/ml/streams.cpp.o" "gcc" "src/CMakeFiles/coe_ml.dir/ml/streams.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_ml.dir/ml/distributed.cpp.o"
+  "CMakeFiles/coe_ml.dir/ml/distributed.cpp.o.d"
+  "CMakeFiles/coe_ml.dir/ml/lbann.cpp.o"
+  "CMakeFiles/coe_ml.dir/ml/lbann.cpp.o.d"
+  "CMakeFiles/coe_ml.dir/ml/nn.cpp.o"
+  "CMakeFiles/coe_ml.dir/ml/nn.cpp.o.d"
+  "CMakeFiles/coe_ml.dir/ml/streams.cpp.o"
+  "CMakeFiles/coe_ml.dir/ml/streams.cpp.o.d"
+  "libcoe_ml.a"
+  "libcoe_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_mpi.dir/mpi/comm.cpp.o"
+  "CMakeFiles/coe_mpi.dir/mpi/comm.cpp.o.d"
+  "libcoe_mpi.a"
+  "libcoe_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_ode.dir/ode/integrator.cpp.o"
+  "CMakeFiles/coe_ode.dir/ode/integrator.cpp.o.d"
+  "libcoe_ode.a"
+  "libcoe_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

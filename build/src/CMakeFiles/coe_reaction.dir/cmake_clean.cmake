@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_reaction.dir/reaction/membrane.cpp.o"
+  "CMakeFiles/coe_reaction.dir/reaction/membrane.cpp.o.d"
+  "CMakeFiles/coe_reaction.dir/reaction/monodomain.cpp.o"
+  "CMakeFiles/coe_reaction.dir/reaction/monodomain.cpp.o.d"
+  "CMakeFiles/coe_reaction.dir/reaction/rational.cpp.o"
+  "CMakeFiles/coe_reaction.dir/reaction/rational.cpp.o.d"
+  "libcoe_reaction.a"
+  "libcoe_reaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_reaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcoe_reaction.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_sched.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/coe_sched.dir/sched/scheduler.cpp.o.d"
+  "libcoe_sched.a"
+  "libcoe_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stencil/distributed.cpp" "src/CMakeFiles/coe_stencil.dir/stencil/distributed.cpp.o" "gcc" "src/CMakeFiles/coe_stencil.dir/stencil/distributed.cpp.o.d"
+  "/root/repo/src/stencil/wave.cpp" "src/CMakeFiles/coe_stencil.dir/stencil/wave.cpp.o" "gcc" "src/CMakeFiles/coe_stencil.dir/stencil/wave.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_mpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

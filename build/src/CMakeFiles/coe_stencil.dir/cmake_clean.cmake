@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_stencil.dir/stencil/distributed.cpp.o"
+  "CMakeFiles/coe_stencil.dir/stencil/distributed.cpp.o.d"
+  "CMakeFiles/coe_stencil.dir/stencil/wave.cpp.o"
+  "CMakeFiles/coe_stencil.dir/stencil/wave.cpp.o.d"
+  "libcoe_stencil.a"
+  "libcoe_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coe_topopt.dir/topopt/simp.cpp.o"
+  "CMakeFiles/coe_topopt.dir/topopt/simp.cpp.o.d"
+  "libcoe_topopt.a"
+  "libcoe_topopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coe_topopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dyn.dir/test_dyn.cpp.o"
+  "CMakeFiles/test_dyn.dir/test_dyn.cpp.o.d"
+  "test_dyn"
+  "test_dyn.pdb"
+  "test_dyn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

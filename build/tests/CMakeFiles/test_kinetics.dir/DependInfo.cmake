@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_kinetics.cpp" "tests/CMakeFiles/test_kinetics.dir/test_kinetics.cpp.o" "gcc" "tests/CMakeFiles/test_kinetics.dir/test_kinetics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/coe_fem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_amg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_amr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_md.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_kinetics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_beamline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_reaction.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_dyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_analytics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_topopt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/coe_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

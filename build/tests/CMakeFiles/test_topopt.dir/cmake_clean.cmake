@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topopt.dir/test_topopt.cpp.o"
+  "CMakeFiles/test_topopt.dir/test_topopt.cpp.o.d"
+  "test_topopt"
+  "test_topopt.pdb"
+  "test_topopt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
