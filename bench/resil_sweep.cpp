@@ -1,0 +1,135 @@
+// coe::resil study: checkpoint-interval sweep under fault injection.
+// Claim (Young/Daly): for an exponential fault process with mean MTBF and
+// checkpoint cost C, the interval sqrt(2*C*MTBF) minimizes total time; both
+// much shorter (checkpoint-dominated) and much longer (replay-dominated)
+// intervals lose. Also sweeps GPU MTBF through the scheduler simulator to
+// show the cluster-level price of failures.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "ode/integrator.hpp"
+#include "resil/resil.hpp"
+#include "sched/scheduler.hpp"
+
+using namespace coe;
+
+namespace {
+
+struct Decay : ode::OdeRhs {
+  void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
+    const auto ys = y.data();
+    auto ds = ydot.data();
+    for (std::size_t i = 0; i < ys.size(); ++i) ds[i] = -0.3 * ys[i];
+  }
+};
+
+struct SweepPoint {
+  double total = 0.0;
+  double overhead = 0.0;
+  double faults = 0.0;
+  double checkpoints = 0.0;
+};
+
+SweepPoint run_point(double mtbf, double interval, std::size_t steps,
+                     std::size_t n, int seeds) {
+  SweepPoint acc;
+  for (int seed = 1; seed <= seeds; ++seed) {
+    auto ctx = core::make_device();
+    Decay f;
+    ode::NVector y(ctx, n, 1.0);
+    ode::Rk4Stepper stepper(f, y, 0.0, 1e-4);
+    resil::ResilienceConfig cfg;
+    cfg.mtbf = mtbf;
+    cfg.checkpoint_interval = interval;
+    cfg.seed = static_cast<std::uint64_t>(seed);
+    auto rep = resil::run_resilient(
+        stepper, ctx, steps, [&](std::size_t) { stepper.step(); }, cfg);
+    if (!rep.completed) std::printf("  !! run did not complete\n");
+    acc.total += rep.total_time;
+    acc.overhead += rep.overhead();
+    acc.faults += static_cast<double>(rep.faults);
+    acc.checkpoints += static_cast<double>(rep.checkpoints);
+  }
+  const double inv = 1.0 / seeds;
+  return {acc.total * inv, acc.overhead * inv, acc.faults * inv,
+          acc.checkpoints * inv};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== coe::resil: MTBF x checkpoint-interval sweep ===\n\n");
+
+  const std::size_t n = 512, steps = 4000;
+  const int seeds = 5;
+
+  // Modeled checkpoint cost for this app on the v100 model.
+  auto probe_ctx = core::make_device();
+  Decay f;
+  ode::NVector y(probe_ctx, n, 1.0);
+  ode::Rk4Stepper probe(f, y, 0.0, 1e-4);
+  const double c = resil::modeled_checkpoint_cost(probe, probe_ctx);
+  std::printf("app: RK4 stepper, n=%zu, %zu steps; checkpoint cost C ="
+              " %.3g s (modeled)\n\n",
+              n, steps, c);
+
+  for (double mtbf : {0.005, 0.02, 0.1}) {
+    const double yd = resil::young_daly_interval(mtbf, c);
+    std::printf("MTBF = %g s  (Young/Daly interval = %.3g s), %d-seed"
+                " averages:\n",
+                mtbf, yd, seeds);
+    core::Table t({"interval", "total time (s)", "overhead", "faults",
+                   "checkpoints"});
+    struct Cand {
+      const char* label;
+      double interval;
+    };
+    const Cand cands[] = {{"YD/10", yd / 10.0}, {"YD/3", yd / 3.0},
+                          {"YD (optimal)", yd}, {"3 YD", yd * 3.0},
+                          {"10 YD", yd * 10.0}};
+    double best = 1e300;
+    for (const auto& cand : cands) {
+      best = std::min(best,
+                      run_point(mtbf, cand.interval, steps, n, seeds).total);
+    }
+    for (const auto& cand : cands) {
+      const auto p = run_point(mtbf, cand.interval, steps, n, seeds);
+      std::string label = cand.label;
+      if (p.total == best) label += " <-- min";
+      t.row({label, core::Table::num(p.total, 6),
+             core::Table::num(100.0 * p.overhead, 1) + "%",
+             core::Table::num(p.faults, 1),
+             core::Table::num(p.checkpoints, 1)});
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("-> total time is U-shaped in the interval; the Young/Daly"
+              " point sits at (or next to) the bottom, and beats both"
+              " 10x-shorter and 10x-longer checkpointing.\n\n");
+
+  std::printf("=== scheduler under GPU failures (16 GPUs, SJF+quota) ===\n");
+  core::Table s({"GPU MTBF (s)", "makespan", "utilization", "failures",
+                 "requeues", "lost GPU-time"});
+  auto jobs = sched::make_workload({1000, 60.0, 1.5, 0.0, 0.0, 21});
+  for (double mtbf : {0.0, 20000.0, 5000.0, 1000.0}) {
+    sched::SchedulerConfig cfg{16, sched::Policy::SjfQuota, 0.0, 0};
+    cfg.gpu_mtbf = mtbf;
+    cfg.gpu_repair_time = 120.0;
+    cfg.fault_seed = 5;
+    auto m = sched::Simulator(cfg).run(jobs);
+    s.row({mtbf > 0.0 ? core::Table::num(mtbf, 0) : "reliable",
+           core::Table::num(m.makespan, 0),
+           core::Table::num(100.0 * m.utilization, 1) + "%",
+           core::Table::num(double(m.gpu_failures), 0),
+           core::Table::num(double(m.requeues), 0),
+           core::Table::num(m.lost_gpu_time, 0)});
+  }
+  s.print();
+  std::printf("-> shrinking MTBF converts useful GPU-time into lost work"
+              " and repair downtime; all jobs still complete via requeue.\n");
+  return 0;
+}

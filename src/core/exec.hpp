@@ -109,15 +109,27 @@ class ExecContext {
   double reduce_sum(std::size_t n, hsim::Workload w, Body&& body) {
     launch_begin();
     double sum = 0.0;
-    if (backend_ == Backend::Threads) {
-      std::vector<double> partial(global_pool().size(), 0.0);
+    if (backend_ == Backend::Threads && n > 1) {
+      auto& pool = global_pool();
+      // Sized to the exact chunk fan-out; the overflow accumulator keeps
+      // the reduction correct even if a chunk lands past the slot array.
+      std::vector<double> partial(pool.chunk_count(n), 0.0);
       std::atomic<std::size_t> next{0};
-      global_pool().parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      std::atomic<double> overflow{0.0};
+      pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
         double s = 0.0;
         for (std::size_t i = lo; i < hi; ++i) s += body(i);
-        partial[next.fetch_add(1)] += s;
+        const std::size_t slot = next.fetch_add(1);
+        if (slot < partial.size()) {
+          partial[slot] = s;
+        } else {
+          double cur = overflow.load();
+          while (!overflow.compare_exchange_weak(cur, cur + s)) {
+          }
+        }
       });
       for (double s : partial) sum += s;
+      sum += overflow.load();
     } else {
       for (std::size_t i = 0; i < n; ++i) sum += body(i);
     }
@@ -128,11 +140,39 @@ class ExecContext {
   /// Max reduction.
   template <typename Body>
   double reduce_max(std::size_t n, hsim::Workload w, Body&& body) {
+    constexpr double kLowest = -1.7976931348623157e308;
     launch_begin();
-    double m = -1.7976931348623157e308;
-    for (std::size_t i = 0; i < n; ++i) {
-      const double v = body(i);
-      if (v > m) m = v;
+    double m = kLowest;
+    if (backend_ == Backend::Threads && n > 1) {
+      auto& pool = global_pool();
+      std::vector<double> partial(pool.chunk_count(n), kLowest);
+      std::atomic<std::size_t> next{0};
+      std::atomic<double> overflow{kLowest};
+      pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+        double lm = kLowest;
+        for (std::size_t i = lo; i < hi; ++i) {
+          const double v = body(i);
+          if (v > lm) lm = v;
+        }
+        const std::size_t slot = next.fetch_add(1);
+        if (slot < partial.size()) {
+          partial[slot] = lm;
+        } else {
+          double cur = overflow.load();
+          while (cur < lm && !overflow.compare_exchange_weak(cur, lm)) {
+          }
+        }
+      });
+      for (double v : partial) {
+        if (v > m) m = v;
+      }
+      const double of = overflow.load();
+      if (of > m) m = of;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v = body(i);
+        if (v > m) m = v;
+      }
     }
     launch_end(hsim::total(w, n));
     return m;

@@ -2,8 +2,10 @@
 // Deterministic, fast RNG shared by workload generators so every experiment
 // is reproducible bit-for-bit across runs (splitmix64 core).
 
+#include <bit>
 #include <cmath>
 #include <cstdint>
+#include <vector>
 
 namespace coe::core {
 
@@ -77,6 +79,22 @@ class Rng {
         return d * v * scale;
       }
     }
+  }
+
+  /// Appends the full generator state (3 doubles, including the Box-Muller
+  /// spare) so a checkpointed simulation resumes its random stream exactly.
+  void save_state(std::vector<double>& out) const {
+    out.push_back(std::bit_cast<double>(state_));
+    out.push_back(spare_);
+    out.push_back(have_spare_ ? 1.0 : 0.0);
+  }
+
+  /// Restores state written by save_state; returns the advanced cursor.
+  const double* load_state(const double* in) {
+    state_ = std::bit_cast<std::uint64_t>(*in++);
+    spare_ = *in++;
+    have_spare_ = *in++ != 0.0;
+    return in;
   }
 
  private:

@@ -23,6 +23,12 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size() + 1; }
 
+  /// Number of chunks parallel_for(n, ...) will invoke fn with — the exact
+  /// fan-out, so callers can size per-chunk accumulators safely.
+  std::size_t chunk_count(std::size_t n) const {
+    return n < size() ? n : size();
+  }
+
   /// Runs fn(begin, end) on contiguous chunks of [0, n), blocking until all
   /// chunks complete. The calling thread executes one chunk itself.
   void parallel_for(std::size_t n,

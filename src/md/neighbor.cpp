@@ -127,4 +127,32 @@ void NeighborList::build_n2(core::ExecContext& ctx, const Particles& p,
   snapshot(p);
 }
 
+void NeighborList::save_state(std::vector<double>& out) const {
+  out.push_back(static_cast<double>(row_ptr_.size()));
+  for (std::size_t v : row_ptr_) out.push_back(static_cast<double>(v));
+  out.push_back(static_cast<double>(pair_j_.size()));
+  for (std::uint32_t v : pair_j_) out.push_back(static_cast<double>(v));
+  out.push_back(static_cast<double>(x0_.size()));
+  out.insert(out.end(), x0_.begin(), x0_.end());
+  out.insert(out.end(), y0_.begin(), y0_.end());
+  out.insert(out.end(), z0_.begin(), z0_.end());
+}
+
+const double* NeighborList::load_state(const double* in) {
+  const auto nrow = static_cast<std::size_t>(*in++);
+  row_ptr_.resize(nrow);
+  for (auto& v : row_ptr_) v = static_cast<std::size_t>(*in++);
+  const auto npair = static_cast<std::size_t>(*in++);
+  pair_j_.resize(npair);
+  for (auto& v : pair_j_) v = static_cast<std::uint32_t>(*in++);
+  const auto n = static_cast<std::size_t>(*in++);
+  x0_.assign(in, in + n);
+  in += n;
+  y0_.assign(in, in + n);
+  in += n;
+  z0_.assign(in, in + n);
+  in += n;
+  return in;
+}
+
 }  // namespace coe::md

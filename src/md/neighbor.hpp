@@ -34,6 +34,13 @@ class NeighborList {
 
   double cutoff_with_skin() const { return rcut_ + skin_; }
 
+  /// Appends the list state (pairs + build-time reference positions) for
+  /// checkpointing. Restoring instead of rebuilding preserves the pair
+  /// *ordering*, so replayed force sums are bitwise identical.
+  void save_state(std::vector<double>& out) const;
+  /// Restores state written by save_state; returns the advanced cursor.
+  const double* load_state(const double* in);
+
  private:
   void snapshot(const Particles& p);
 

@@ -11,12 +11,14 @@
 //    with positions shipped to the device and forces shipped back every
 //    step.
 
+#include <algorithm>
 #include <cmath>
 #include <span>
 #include <vector>
 
 #include "core/rng.hpp"
 #include "md/forces.hpp"
+#include "resil/checkpoint.hpp"
 
 namespace coe::md {
 
@@ -54,7 +56,7 @@ struct StepInfo {
 };
 
 template <typename Potential>
-class Simulation {
+class Simulation : public resil::Checkpointable {
  public:
   Simulation(core::ExecContext& device, core::ExecContext& host,
              Particles particles, Box box, Potential pot, SimConfig cfg,
@@ -131,6 +133,33 @@ class Simulation {
     info.kinetic = p_.kinetic_energy();
     info.pressure = pressure(p_, box_, info.virial);
     return info;
+  }
+
+  /// Checkpointable: the full dynamic state — positions, velocities,
+  /// forces, the (barostat-scaled) box, the thermostat RNG stream, and the
+  /// neighbor list with its reference positions. Restoring and re-stepping
+  /// reproduces the original trajectory bitwise.
+  void save_state(std::vector<double>& out) const override {
+    out.clear();
+    out.push_back(box_.length);
+    rng_.save_state(out);
+    for (const auto* v : {&p_.x, &p_.y, &p_.z, &p_.vx, &p_.vy, &p_.vz,
+                          &p_.fx, &p_.fy, &p_.fz}) {
+      out.insert(out.end(), v->begin(), v->end());
+    }
+    nl_.save_state(out);
+  }
+
+  void restore_state(const std::vector<double>& in) override {
+    const double* c = in.data();
+    box_.length = *c++;
+    c = rng_.load_state(c);
+    for (auto* v : {&p_.x, &p_.y, &p_.z, &p_.vx, &p_.vy, &p_.vz, &p_.fx,
+                    &p_.fy, &p_.fz}) {
+      std::copy(c, c + p_.n, v->begin());
+      c += p_.n;
+    }
+    nl_.load_state(c);
   }
 
  private:

@@ -1,18 +1,58 @@
 #include "mpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <string>
 #include <thread>
 
 namespace coe::mpi {
 
+namespace {
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point deadline_from(double seconds) {
+  return Clock::now() +
+         std::chrono::duration_cast<Clock::duration>(
+             std::chrono::duration<double>(seconds));
+}
+}  // namespace
+
 class World {
  public:
-  explicit World(int ranks) : ranks_(ranks), reduce_buf_() {}
+  World(int ranks, RunOptions opts)
+      : ranks_(ranks), opts_(std::move(opts)),
+        ops_(static_cast<std::size_t>(ranks), 0), reduce_buf_() {}
 
   int size() const { return ranks_; }
 
+  /// Fault-injection and abort gate, run at the top of every communicator
+  /// operation. Each rank only touches its own ops_ slot.
+  void enter_op(int rank) {
+    {
+      std::lock_guard<std::mutex> lk(mtx_);
+      if (aborted_) throw_peer_failure();
+    }
+    const auto r = static_cast<std::size_t>(rank);
+    ops_[r] += 1;
+    if (opts_.fault_hook && opts_.fault_hook(rank, ops_[r])) {
+      throw resil::RankFailure(
+          rank, "rank " + std::to_string(rank) + " killed by fault injection");
+    }
+  }
+
+  /// Marks the world failed and wakes every blocked rank.
+  void mark_failed(int rank) {
+    std::lock_guard<std::mutex> lk(mtx_);
+    if (!aborted_) {
+      aborted_ = true;
+      failed_rank_ = rank;
+    }
+    cv_.notify_all();
+  }
+
   void send(int src, int dest, int tag, std::vector<double> data) {
+    enter_op(src);
     std::lock_guard<std::mutex> lk(mtx_);
     stats_.messages += 1;
     stats_.bytes += static_cast<double>(data.size()) * 8.0;
@@ -21,15 +61,20 @@ class World {
   }
 
   std::vector<double> recv(int src, int dest, int tag) {
+    enter_op(dest);
     std::unique_lock<std::mutex> lk(mtx_);
     auto& q = mail_[key(src, dest, tag)];
-    cv_.wait(lk, [&] { return !q.empty(); });
+    wait_or_fail(lk, [&] { return !q.empty(); },
+                 "recv(src=" + std::to_string(src) +
+                     ", tag=" + std::to_string(tag) + ") on rank " +
+                     std::to_string(dest));
     auto data = std::move(q.front());
     q.pop();
     return data;
   }
 
-  void barrier() {
+  void barrier(int rank) {
+    enter_op(rank);
     std::unique_lock<std::mutex> lk(mtx_);
     const std::size_t gen = barrier_gen_;
     if (++barrier_count_ == ranks_) {
@@ -38,15 +83,18 @@ class World {
       ++stats_.barriers;
       cv_.notify_all();
     } else {
-      cv_.wait(lk, [&] { return barrier_gen_ != gen; });
+      wait_or_fail(lk, [&] { return barrier_gen_ != gen; },
+                   "barrier on rank " + std::to_string(rank));
     }
   }
 
-  void allreduce_sum(std::span<double> inout) {
+  void allreduce_sum(int rank, std::span<double> inout) {
+    enter_op(rank);
     std::unique_lock<std::mutex> lk(mtx_);
     // A new epoch may not start writing until every rank of the previous
     // epoch has copied its result out.
-    cv_.wait(lk, [&] { return reduce_readers_ == 0; });
+    wait_or_fail(lk, [&] { return reduce_readers_ == 0; },
+                 "allreduce (epoch drain) on rank " + std::to_string(rank));
     const std::size_t gen = reduce_gen_;
     if (reduce_count_ == 0) {
       reduce_buf_.assign(inout.begin(), inout.end());
@@ -63,7 +111,8 @@ class World {
       ++stats_.allreduces;
       cv_.notify_all();
     } else {
-      cv_.wait(lk, [&] { return reduce_gen_ != gen; });
+      wait_or_fail(lk, [&] { return reduce_gen_ != gen; },
+                   "allreduce on rank " + std::to_string(rank));
     }
     std::copy(reduce_buf_.begin(),
               reduce_buf_.begin() + static_cast<std::ptrdiff_t>(inout.size()),
@@ -74,6 +123,27 @@ class World {
   const TrafficStats& stats() const { return stats_; }
 
  private:
+  [[noreturn]] void throw_peer_failure() const {
+    throw PeerFailure("rank " + std::to_string(failed_rank_) +
+                      " failed; aborting collective/messaging");
+  }
+
+  /// Waits for pred, the abort flag, or the deadline — whichever first.
+  /// Caller holds lk.
+  template <typename Pred>
+  void wait_or_fail(std::unique_lock<std::mutex>& lk, Pred pred,
+                    const std::string& what) {
+    const auto deadline = deadline_from(opts_.timeout_seconds);
+    const bool ok = cv_.wait_until(
+        lk, deadline, [&] { return aborted_ || pred(); });
+    if (aborted_ && !pred()) throw_peer_failure();
+    if (!ok) {
+      throw CommTimeout("timeout after " +
+                        std::to_string(opts_.timeout_seconds) + "s in " +
+                        what);
+    }
+  }
+
   static std::uint64_t key(int src, int dest, int tag) {
     return (std::uint64_t(std::uint16_t(src)) << 32) |
            (std::uint64_t(std::uint16_t(dest)) << 16) |
@@ -81,9 +151,13 @@ class World {
   }
 
   int ranks_;
+  RunOptions opts_;
+  std::vector<std::size_t> ops_;  ///< per-rank completed-operation counts
   std::mutex mtx_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
+  bool aborted_ = false;
+  int failed_rank_ = -1;
   int barrier_count_ = 0;
   std::size_t barrier_gen_ = 0;
   int reduce_count_ = 0;
@@ -104,12 +178,12 @@ std::vector<double> Communicator::recv(int src, int tag) {
 }
 
 void Communicator::allreduce_sum(std::span<double> inout) {
-  world_->allreduce_sum(inout);
+  world_->allreduce_sum(rank_, inout);
 }
 
 double Communicator::allreduce_sum(double v) {
   double buf = v;
-  world_->allreduce_sum(std::span<double>(&buf, 1));
+  world_->allreduce_sum(rank_, std::span<double>(&buf, 1));
   return buf;
 }
 
@@ -132,12 +206,16 @@ double Communicator::allreduce_max(double v) {
   return world_->recv(0, rank_, 0x7e)[0];
 }
 
-void Communicator::barrier() { world_->barrier(); }
+void Communicator::barrier() { world_->barrier(rank_); }
 
-TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn) {
-  World world(ranks);
+TrafficStats run(int ranks, const RunOptions& opts,
+                 const std::function<void(Communicator&)>& fn) {
+  World world(ranks, opts);
   std::vector<std::thread> threads;
-  std::exception_ptr error;
+  // The originating failure (RankFailure, CommTimeout, a user exception)
+  // outranks the PeerFailures it cascades into on surviving ranks.
+  std::exception_ptr primary;
+  std::exception_ptr secondary;
   std::mutex error_mtx;
   threads.reserve(static_cast<std::size_t>(ranks));
   for (int r = 0; r < ranks; ++r) {
@@ -145,15 +223,29 @@ TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn) {
       Communicator comm(&world, r);
       try {
         fn(comm);
+      } catch (const PeerFailure&) {
+        {
+          std::lock_guard<std::mutex> lk(error_mtx);
+          if (!secondary) secondary = std::current_exception();
+        }
+        world.mark_failed(r);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(error_mtx);
-        if (!error) error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lk(error_mtx);
+          if (!primary) primary = std::current_exception();
+        }
+        world.mark_failed(r);
       }
     });
   }
   for (auto& t : threads) t.join();
-  if (error) std::rethrow_exception(error);
+  if (primary) std::rethrow_exception(primary);
+  if (secondary) std::rethrow_exception(secondary);
   return world.stats();
+}
+
+TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn) {
+  return run(ranks, RunOptions{}, fn);
 }
 
 }  // namespace coe::mpi

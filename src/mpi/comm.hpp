@@ -5,6 +5,14 @@
 // MPI implementations). Ranks are real threads with blocking mailboxes,
 // so send/recv/collective semantics are genuine; traffic is counted so
 // cluster models can price a run.
+//
+// Failure semantics (coe::resil integration): every blocking operation
+// carries a real-time deadline, so a mismatched-tag recv or a lost peer
+// surfaces as a thrown CommTimeout rather than an indefinite hang. When any
+// rank exits with an exception — including an injected resil::RankFailure —
+// the world aborts: peers blocked in recv/barrier/allreduce wake
+// immediately and throw PeerFailure, and run() rethrows the original
+// failure after joining everyone.
 
 #include <condition_variable>
 #include <cstddef>
@@ -13,9 +21,11 @@
 #include <mutex>
 #include <queue>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "core/machine.hpp"
+#include "resil/fault.hpp"
 
 namespace coe::mpi {
 
@@ -30,6 +40,29 @@ struct TrafficStats {
   double modeled_time(const hsim::ClusterModel& net) const {
     return static_cast<double>(messages) * net.alpha + net.beta * bytes;
   }
+};
+
+/// A blocking operation exceeded its real-time deadline (no matching send,
+/// or a peer stopped participating without the abort flag being raised).
+struct CommTimeout : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Raised out of a blocking operation on a surviving rank after another
+/// rank failed: the collective/message can never complete.
+struct PeerFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct RunOptions {
+  /// Real-time deadline (seconds) for each blocking operation; expiry
+  /// throws CommTimeout instead of hanging forever.
+  double timeout_seconds = 30.0;
+  /// Fault-injection hook, consulted on every communicator operation with
+  /// (rank, operations completed by that rank). Returning true raises
+  /// resil::RankFailure inside that rank. Called concurrently from all
+  /// rank threads — must be thread-safe (see resil::make_rank_fault_hook).
+  std::function<bool(int, std::size_t)> fault_hook;
 };
 
 class World;
@@ -52,7 +85,8 @@ class Communicator {
   void barrier();
 
  private:
-  friend TrafficStats run(int, const std::function<void(Communicator&)>&);
+  friend TrafficStats run(int, const RunOptions&,
+                          const std::function<void(Communicator&)>&);
   Communicator(World* w, int rank) : world_(w), rank_(rank) {}
   World* world_;
   int rank_;
@@ -60,7 +94,13 @@ class Communicator {
 
 /// Runs fn on `ranks` concurrent threads with a shared mailbox world;
 /// returns the aggregate traffic stats once every rank finishes. Any rank
-/// throwing propagates out of run() (after joining the others).
+/// throwing aborts the world (unblocking survivors) and propagates out of
+/// run() after joining the others; survivors' secondary PeerFailure
+/// exceptions never mask the original error.
+TrafficStats run(int ranks, const RunOptions& opts,
+                 const std::function<void(Communicator&)>& fn);
+
+/// Default options: 30 s deadlines, no fault injection.
 TrafficStats run(int ranks, const std::function<void(Communicator&)>& fn);
 
 }  // namespace coe::mpi

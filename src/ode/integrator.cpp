@@ -33,6 +33,45 @@ IntegratorStats Rk4::integrate(OdeRhs& f, double t0, double tf,
   return stats;
 }
 
+Rk4Stepper::Rk4Stepper(OdeRhs& f, NVector& y, double t0, double dt)
+    : f_(&f), y_(&y), k1_(y.ctx(), y.size()), k2_(y.ctx(), y.size()),
+      k3_(y.ctx(), y.size()), k4_(y.ctx(), y.size()), tmp_(y.ctx(), y.size()),
+      t_(t0), dt_(dt) {}
+
+void Rk4Stepper::step() {
+  NVector& y = *y_;
+  f_->eval(t_, y, k1_);
+  tmp_.linear_sum(1.0, y, 0.5 * dt_, k1_);
+  f_->eval(t_ + 0.5 * dt_, tmp_, k2_);
+  tmp_.linear_sum(1.0, y, 0.5 * dt_, k2_);
+  f_->eval(t_ + 0.5 * dt_, tmp_, k3_);
+  tmp_.linear_sum(1.0, y, dt_, k3_);
+  f_->eval(t_ + dt_, tmp_, k4_);
+  y.axpy(dt_ / 6.0, k1_);
+  y.axpy(dt_ / 3.0, k2_);
+  y.axpy(dt_ / 3.0, k3_);
+  y.axpy(dt_ / 6.0, k4_);
+  t_ += dt_;
+  ++steps_;
+}
+
+void Rk4Stepper::save_state(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(2 + y_->size());
+  out.push_back(t_);
+  out.push_back(static_cast<double>(steps_));
+  const auto y = y_->data();
+  out.insert(out.end(), y.begin(), y.end());
+}
+
+void Rk4Stepper::restore_state(const std::vector<double>& in) {
+  const double* c = in.data();
+  t_ = *c++;
+  steps_ = static_cast<std::size_t>(*c++);
+  auto y = y_->data();
+  std::copy(c, c + y.size(), y.begin());
+}
+
 IntegratorStats Rk23::integrate(OdeRhs& f, double t0, double tf, NVector& y) {
   IntegratorStats stats;
   auto& ctx = y.ctx();

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "ode/nvector.hpp"
+#include "resil/checkpoint.hpp"
 
 namespace coe::ode {
 
@@ -46,6 +47,31 @@ class Rk4 {
   /// Advances y from t0 to tf in `steps` equal steps.
   IntegratorStats integrate(OdeRhs& f, double t0, double tf,
                             std::size_t steps, NVector& y);
+};
+
+/// Step-at-a-time RK4 driver for long-running integrations under the
+/// resilience layer: one step() per call, full (t, y) state checkpointing.
+/// step() matches Rk4::integrate's per-step arithmetic exactly, so a
+/// checkpoint/restart trajectory is bitwise identical to an uninterrupted
+/// one.
+class Rk4Stepper : public resil::Checkpointable {
+ public:
+  /// `y` is advanced in place; the stepper borrows it and `f`.
+  Rk4Stepper(OdeRhs& f, NVector& y, double t0, double dt);
+
+  void step();
+  double time() const { return t_; }
+  std::size_t steps_taken() const { return steps_; }
+
+  void save_state(std::vector<double>& out) const override;
+  void restore_state(const std::vector<double>& in) override;
+
+ private:
+  OdeRhs* f_;
+  NVector* y_;
+  NVector k1_, k2_, k3_, k4_, tmp_;
+  double t_, dt_;
+  std::size_t steps_ = 0;
 };
 
 struct AdaptiveOptions {

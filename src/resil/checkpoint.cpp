@@ -1,0 +1,46 @@
+#include "resil/checkpoint.hpp"
+
+#include <utility>
+
+namespace coe::resil {
+
+void CheckpointStore::write(const std::string& key, std::size_t step,
+                            const Checkpointable& app,
+                            core::ExecContext& ctx) {
+  Checkpoint ck;
+  ck.step = step;
+  app.save_state(ck.data);
+  const double bytes = static_cast<double>(ck.data.size()) * 8.0;
+  ctx.record_transfer(bytes, /*to_device=*/false);
+  stats_.writes += 1;
+  stats_.bytes_written += bytes;
+  auto& slot = slots_[key];
+  if (slot.size() < 2) {
+    slot.push_back(std::move(ck));
+  } else {
+    slot[0] = std::move(slot[1]);
+    slot[1] = std::move(ck);
+  }
+}
+
+const Checkpoint* CheckpointStore::latest(const std::string& key) const {
+  auto it = slots_.find(key);
+  if (it == slots_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
+
+bool CheckpointStore::restore_latest(const std::string& key,
+                                     Checkpointable& app,
+                                     core::ExecContext& ctx,
+                                     std::size_t* step) {
+  const Checkpoint* ck = latest(key);
+  if (ck == nullptr) return false;
+  ctx.record_transfer(static_cast<double>(ck->data.size()) * 8.0,
+                      /*to_device=*/true);
+  app.restore_state(ck->data);
+  stats_.restores += 1;
+  if (step != nullptr) *step = ck->step;
+  return true;
+}
+
+}  // namespace coe::resil

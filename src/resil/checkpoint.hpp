@@ -1,0 +1,80 @@
+#pragma once
+// Checkpoint/restart substrate. Long-running solvers implement
+// Checkpointable (full dynamic state to/from a flat double blob — flat so
+// the store can price it as one device drain); CheckpointStore keeps the
+// blobs in host memory and charges every write/restore to the machine model
+// through ExecContext::record_transfer, so checkpoint overhead shows up in
+// simulated time exactly like any other host<->device traffic.
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/exec.hpp"
+
+namespace coe::resil {
+
+/// A solver that can serialize its complete dynamic state. Restoring a
+/// saved state and re-executing the same steps must reproduce the original
+/// trajectory bitwise (the recovery tests enforce this), so implementations
+/// must capture *everything* the stepping code reads: fields, clocks, RNG
+/// streams, neighbor/reference structures.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+
+  /// Overwrites `out` with the full dynamic state.
+  virtual void save_state(std::vector<double>& out) const = 0;
+
+  /// Restores state previously produced by save_state on the same
+  /// configuration (same sizes, same static parameters).
+  virtual void restore_state(const std::vector<double>& in) = 0;
+
+  /// Serialized size in bytes (used to price a checkpoint without taking
+  /// one). Default: serialize and measure.
+  virtual double state_bytes() const {
+    std::vector<double> tmp;
+    save_state(tmp);
+    return static_cast<double>(tmp.size()) * 8.0;
+  }
+};
+
+struct Checkpoint {
+  std::size_t step = 0;
+  std::vector<double> data;
+};
+
+struct CheckpointStats {
+  std::size_t writes = 0;
+  std::size_t restores = 0;
+  double bytes_written = 0.0;
+};
+
+/// In-memory checkpoint store, keyed by application name; keeps the latest
+/// two checkpoints per key (the classic double-buffer discipline: never
+/// overwrite your only good checkpoint while writing a new one).
+class CheckpointStore {
+ public:
+  /// Serializes `app` under `key` as the state after `step` steps. The
+  /// device-to-host drain is charged to `ctx`.
+  void write(const std::string& key, std::size_t step,
+             const Checkpointable& app, core::ExecContext& ctx);
+
+  /// Latest checkpoint for `key`, or nullptr.
+  const Checkpoint* latest(const std::string& key) const;
+
+  /// Restores `app` from the latest checkpoint (charging the host-to-device
+  /// refill to `ctx`) and returns its step. Returns false if none exists.
+  bool restore_latest(const std::string& key, Checkpointable& app,
+                      core::ExecContext& ctx, std::size_t* step = nullptr);
+
+  const CheckpointStats& stats() const { return stats_; }
+
+ private:
+  // [older, newer] per key.
+  std::map<std::string, std::vector<Checkpoint>> slots_;
+  CheckpointStats stats_;
+};
+
+}  // namespace coe::resil

@@ -1,0 +1,81 @@
+#include "resil/driver.hpp"
+
+#include <cmath>
+
+namespace coe::resil {
+
+double young_daly_interval(double mtbf, double c) {
+  if (mtbf <= 0.0) return 1.7976931348623157e308;  // no faults: never
+  return std::sqrt(2.0 * std::max(c, 1e-300) * mtbf);
+}
+
+double modeled_checkpoint_cost(const Checkpointable& app,
+                               const core::ExecContext& ctx) {
+  return ctx.model().transfer_time(app.state_bytes());
+}
+
+ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
+                               std::size_t steps,
+                               const std::function<void(std::size_t)>& do_step,
+                               const ResilienceConfig& cfg,
+                               CheckpointStore* store) {
+  CheckpointStore local;
+  if (store == nullptr) store = &local;
+  const std::string key = "run_resilient";
+
+  ResilienceReport rep;
+  rep.steps = steps;
+  rep.checkpoint_cost = modeled_checkpoint_cost(app, ctx);
+  rep.interval = cfg.checkpoint_interval > 0.0
+                     ? cfg.checkpoint_interval
+                     : young_daly_interval(cfg.mtbf, rep.checkpoint_cost);
+
+  const double t0 = ctx.simulated_time();
+  auto elapsed = [&] { return ctx.simulated_time() - t0; };
+
+  // Recovery baseline: without a step-0 checkpoint an early fault would
+  // have nothing to restart from.
+  store->write(key, 0, app, ctx);
+  rep.checkpoints = 1;
+  rep.checkpoint_time += elapsed();
+  double last_ck_elapsed = elapsed();
+
+  FaultInjector faults(cfg.mtbf, cfg.seed);
+  std::size_t high_water = 0;  // distinct steps completed at least once
+  std::size_t s = 0;
+  while (s < steps) {
+    do_step(s);
+    ++rep.steps_executed;
+    if (s < high_water) {
+      ++rep.steps_replayed;
+    } else {
+      high_water = s + 1;
+    }
+
+    const double now = elapsed();
+    if (faults.fire(now)) {
+      ++rep.faults;
+      if (rep.faults > cfg.max_faults) break;
+      std::size_t ck_step = 0;
+      store->restore_latest(key, app, ctx, &ck_step);
+      rep.wasted_time += now - last_ck_elapsed;
+      s = ck_step;
+      continue;
+    }
+
+    ++s;
+    if (s < steps && now - last_ck_elapsed >= rep.interval) {
+      const double before = ctx.simulated_time();
+      store->write(key, s, app, ctx);
+      ++rep.checkpoints;
+      rep.checkpoint_time += ctx.simulated_time() - before;
+      last_ck_elapsed = elapsed();
+    }
+  }
+
+  rep.completed = s >= steps;
+  rep.total_time = elapsed();
+  return rep;
+}
+
+}  // namespace coe::resil

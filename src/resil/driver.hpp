@@ -1,0 +1,67 @@
+#pragma once
+// Failure-aware execution driver: runs a step loop under an injected
+// exponential fault process, checkpointing on a simulated-time interval and
+// re-executing from the last checkpoint after each fault. The default
+// interval is the Young/Daly optimum sqrt(2 * C * MTBF) computed from the
+// modeled checkpoint cost C, so the machine model closes the loop: slower
+// links -> dearer checkpoints -> sparser checkpointing -> more re-executed
+// work per fault.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/exec.hpp"
+#include "resil/checkpoint.hpp"
+#include "resil/fault.hpp"
+
+namespace coe::resil {
+
+struct ResilienceConfig {
+  double mtbf = 0.0;                 ///< simulated s between faults (0: none)
+  double checkpoint_interval = 0.0;  ///< simulated s (<=0: Young/Daly)
+  std::uint64_t seed = 1;
+  std::size_t max_faults = 100000;   ///< abort the run past this many
+};
+
+struct ResilienceReport {
+  bool completed = false;
+  std::size_t steps = 0;           ///< distinct steps of useful work
+  std::size_t steps_executed = 0;  ///< total executions incl. replay
+  std::size_t steps_replayed = 0;
+  std::size_t faults = 0;
+  std::size_t checkpoints = 0;
+  double interval = 0.0;         ///< checkpoint interval actually used
+  double checkpoint_cost = 0.0;  ///< modeled s per checkpoint write
+  double total_time = 0.0;       ///< simulated s for the whole run
+  double wasted_time = 0.0;      ///< simulated s of discarded work
+  double checkpoint_time = 0.0;  ///< simulated s spent writing checkpoints
+
+  double overhead() const {
+    const double useful = total_time - wasted_time - checkpoint_time;
+    return useful > 0.0 ? (total_time - useful) / useful : 0.0;
+  }
+};
+
+/// First-order Young/Daly optimal checkpoint interval for checkpoint cost
+/// `c` and mean time between failures `mtbf` (both in the same time unit).
+double young_daly_interval(double mtbf, double c);
+
+/// Modeled cost (seconds on ctx's machine) of writing one checkpoint of
+/// `app`: the device drain of its serialized state.
+double modeled_checkpoint_cost(const Checkpointable& app,
+                               const core::ExecContext& ctx);
+
+/// Executes do_step(0..steps-1) on `app` under cfg's fault process. Faults
+/// are detected against ctx's simulated clock; on each fault the driver
+/// restores the last checkpoint and replays. The final state of `app` is
+/// bitwise identical to a fault-free run (enforced by tests); the price of
+/// the faults is visible in ctx's simulated time and the report. An
+/// external `store` may be supplied to inspect checkpoints afterwards.
+ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
+                               std::size_t steps,
+                               const std::function<void(std::size_t)>& do_step,
+                               const ResilienceConfig& cfg,
+                               CheckpointStore* store = nullptr);
+
+}  // namespace coe::resil

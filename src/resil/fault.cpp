@@ -1,0 +1,24 @@
+#include "resil/fault.hpp"
+
+#include <memory>
+
+namespace coe::resil {
+
+std::function<bool(int, std::size_t)> make_rank_fault_hook(
+    int ranks, double mean_ops, std::uint64_t seed, double max_ops) {
+  // One independent draw per rank (decorrelated by rank index), fixed at
+  // hook-construction time so the plan is reproducible.
+  auto doom = std::make_shared<std::vector<double>>();
+  doom->reserve(static_cast<std::size_t>(ranks));
+  for (int r = 0; r < ranks; ++r) {
+    core::Rng rng(seed + 0x9e3779b97f4a7c15ull * std::uint64_t(r + 1));
+    const double d = rng.exponential(1.0 / mean_ops);
+    doom->push_back(d <= max_ops ? d : -1.0);
+  }
+  return [doom](int rank, std::size_t ops) {
+    const double d = (*doom)[static_cast<std::size_t>(rank)];
+    return d >= 0.0 && static_cast<double>(ops) >= d;
+  };
+}
+
+}  // namespace coe::resil

@@ -1,0 +1,72 @@
+#pragma once
+// coe::resil fault model. The paper's workload ran on Sierra-class systems
+// (thousands of nodes) where component failure is routine; this layer gives
+// the reproduction a failure process to test recovery behavior against: a
+// deterministic, seeded fault clock drawing exponential (MTBF-parameterized)
+// failure times, the exception types a failed component raises, and a hook
+// factory that kills coe::mpi ranks mid-run.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace coe::resil {
+
+/// Raised by a component (mpi rank, solver step) killed by fault injection.
+struct RankFailure : std::runtime_error {
+  RankFailure(int rank_, const std::string& what)
+      : std::runtime_error(what), rank(rank_) {}
+  int rank;
+};
+
+/// Memoryless failure clock: inter-failure times are exponential with the
+/// given MTBF, drawn from a seeded splitmix64 stream so every run of an
+/// experiment sees the identical fault sequence.
+class FaultInjector {
+ public:
+  /// mtbf <= 0 disables the clock (next() stays at +infinity).
+  FaultInjector(double mtbf, std::uint64_t seed)
+      : mtbf_(mtbf), rng_(seed) {
+    next_ = mtbf_ > 0.0 ? rng_.exponential(1.0 / mtbf_) : kNever;
+  }
+
+  double mtbf() const { return mtbf_; }
+  bool enabled() const { return mtbf_ > 0.0; }
+
+  /// Time of the next scheduled failure.
+  double next() const { return next_; }
+
+  /// True when `now` has reached the scheduled failure; reschedules the
+  /// clock from `now` (exponential inter-arrivals are memoryless, so
+  /// restarting the draw at the fault instant preserves the process).
+  bool fire(double now) {
+    if (!enabled() || now < next_) return false;
+    next_ = now + rng_.exponential(1.0 / mtbf_);
+    return true;
+  }
+
+  /// Draws one inter-failure interval directly.
+  double draw() { return enabled() ? rng_.exponential(1.0 / mtbf_) : kNever; }
+
+ private:
+  static constexpr double kNever = 1.7976931348623157e308;
+  double mtbf_;
+  double next_;
+  core::Rng rng_;
+};
+
+/// Builds a fault hook for coe::mpi::RunOptions: rank r is killed (raises
+/// RankFailure from inside its next communicator operation) once it has
+/// performed its seeded exponential op-count budget, with mean `mean_ops`
+/// operations between failures per rank. Draws that land beyond `max_ops`
+/// never fire, so with mean_ops >> expected op count most runs are clean.
+std::function<bool(int, std::size_t)> make_rank_fault_hook(
+    int ranks, double mean_ops, std::uint64_t seed,
+    double max_ops = 1e18);
+
+}  // namespace coe::resil

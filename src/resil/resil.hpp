@@ -1,0 +1,7 @@
+#pragma once
+// coe::resil — fault injection, checkpoint/restart, and failure-aware
+// execution for the workload (see DESIGN.md section 9).
+
+#include "resil/checkpoint.hpp"
+#include "resil/driver.hpp"
+#include "resil/fault.hpp"

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
-#include <queue>
+#include <limits>
+
+#include "resil/fault.hpp"
 
 namespace coe::sched {
 
@@ -19,6 +21,7 @@ ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
   outcomes_.clear();
   ScheduleMetrics m;
   if (jobs.empty()) return m;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
 
   std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
     return a.submit_time < b.submit_time;
@@ -38,16 +41,25 @@ ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
   if (reserve <= 0) reserve = std::max(1, cfg_.num_gpus / 4);
 
   struct Running {
+    double start;
     double finish;
     int gpus;
     bool is_long;
     std::size_t job_index;
-    bool operator>(const Running& o) const { return finish > o.finish; }
   };
-  std::priority_queue<Running, std::vector<Running>, std::greater<Running>>
-      running;
+  std::vector<Running> running;  // unordered; failures need random access
+
+  // Cluster-level failure clock (superposed per-GPU exponentials) and the
+  // victim-selection stream, both seeded for reproducibility.
+  resil::FaultInjector faults(
+      cfg_.gpu_mtbf > 0.0 ? cfg_.gpu_mtbf / cfg_.num_gpus : 0.0,
+      cfg_.fault_seed);
+  core::Rng victim_rng(cfg_.fault_seed ^ 0xc0ffee);
+  std::vector<double> repairs;  // pending GPU repair completion times
+  int down_gpus = 0;
 
   std::vector<std::size_t> queue;  // indices of queued jobs
+  std::vector<int> restarts(jobs.size(), 0);
   std::size_t next_arrival = 0;
   int free_gpus = cfg_.num_gpus;
   int long_gpus_busy = 0;
@@ -96,39 +108,98 @@ ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
       const bool is_long = j.estimate >= threshold;
       free_gpus -= j.gpus;
       if (is_long) long_gpus_busy += j.gpus;
-      running.push(Running{now + j.duration, j.gpus, is_long, ji});
-      outcomes_[ji] = JobOutcome{j, now, now + j.duration};
-      const double wait = now - j.submit_time;
-      total_wait += wait;
-      max_wait = std::max(max_wait, wait);
-      total_turnaround += wait + j.duration;
-      busy_gpu_time += j.duration * j.gpus;
+      running.push_back(Running{now, now + j.duration, j.gpus, is_long, ji});
+      outcomes_[ji] = JobOutcome{j, now, now + j.duration, restarts[ji]};
     }
   };
 
+  auto min_finish = [&]() -> std::size_t {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < running.size(); ++i) {
+      if (running[i].finish < running[best].finish) best = i;
+    }
+    return best;
+  };
+
   while (next_arrival < jobs.size() || !running.empty() || !queue.empty()) {
-    // Advance to the next event.
-    double t_event = -1.0;
-    const bool have_arrival = next_arrival < jobs.size();
-    const bool have_finish = !running.empty();
-    if (have_arrival && (!have_finish ||
-                         jobs[next_arrival].submit_time <=
-                             running.top().finish)) {
-      t_event = jobs[next_arrival].submit_time;
-      now = std::max(now, t_event);
+    const double t_arr =
+        next_arrival < jobs.size() ? jobs[next_arrival].submit_time : kInf;
+    const double t_fin =
+        running.empty() ? kInf : running[min_finish()].finish;
+    const double t_rep =
+        repairs.empty() ? kInf
+                        : *std::min_element(repairs.begin(), repairs.end());
+    const double t_fail = faults.enabled() ? faults.next() : kInf;
+
+    if (t_arr == kInf && t_fin == kInf && t_rep == kInf) {
+      // Only failure events (or nothing) remain: a failure cannot start
+      // queued-but-infeasible jobs, so the schedule is done.
+      break;
+    }
+
+    // Tie order preserves the reliable-cluster trace: arrival, finish,
+    // repair, failure.
+    if (t_arr <= t_fin && t_arr <= t_rep && t_arr <= t_fail) {
+      now = std::max(now, t_arr);
       while (next_arrival < jobs.size() &&
              jobs[next_arrival].submit_time <= now) {
         queue.push_back(next_arrival++);
       }
-    } else if (have_finish) {
-      const Running r = running.top();
-      running.pop();
+    } else if (t_fin <= t_rep && t_fin <= t_fail) {
+      const std::size_t ri = min_finish();
+      const Running r = running[ri];
+      running[ri] = running.back();
+      running.pop_back();
       now = r.finish;
       free_gpus += r.gpus;
       if (r.is_long) long_gpus_busy -= r.gpus;
+      const Job& j = jobs[r.job_index];
+      busy_gpu_time += j.duration * j.gpus;
+      const double wait = r.start - j.submit_time;
+      total_wait += wait;
+      max_wait = std::max(max_wait, wait);
+      total_turnaround += r.finish - j.submit_time;
       ++m.completed;
+    } else if (t_rep <= t_fail) {
+      repairs.erase(std::min_element(repairs.begin(), repairs.end()));
+      now = t_rep;
+      free_gpus += 1;
+      down_gpus -= 1;
     } else {
-      break;  // only queued infeasible jobs remain (shouldn't happen)
+      now = t_fail;
+      faults.fire(now);
+      if (down_gpus >= cfg_.num_gpus) continue;  // nothing left to break
+      ++m.gpu_failures;
+      if (free_gpus > 0) {
+        free_gpus -= 1;  // an idle GPU died
+      } else {
+        // Every GPU is busy: the failure lands on a running job, chosen
+        // with probability proportional to its GPU footprint.
+        int total = 0;
+        for (const auto& r : running) total += r.gpus;
+        int pick = static_cast<int>(
+            victim_rng.uniform_int(static_cast<std::uint64_t>(total)));
+        std::size_t vi = 0;
+        for (; vi < running.size(); ++vi) {
+          pick -= running[vi].gpus;
+          if (pick < 0) break;
+        }
+        const Running v = running[vi];
+        running[vi] = running.back();
+        running.pop_back();
+        m.lost_gpu_time += (now - v.start) * v.gpus;
+        ++m.requeues;
+        ++restarts[v.job_index];
+        if (v.is_long) long_gpus_busy -= v.gpus;
+        free_gpus += v.gpus - 1;  // the job's GPUs return, minus the corpse
+        queue.push_back(v.job_index);
+      }
+      if (cfg_.gpu_repair_time > 0.0) {
+        down_gpus += 1;
+        repairs.push_back(now + cfg_.gpu_repair_time);
+      } else {
+        free_gpus += 1;  // instant repair
+      }
     }
     launch_all_possible();
   }

@@ -44,22 +44,35 @@ struct SchedulerConfig {
   double long_job_threshold = 0.0;
   /// GPUs reserved for long jobs under SjfQuota (0 = auto: a quarter).
   int long_job_reserve = 0;
+  /// Mean time between failures of one GPU (0 = reliable cluster). The
+  /// cluster-level failure process is the superposition: rate num_gpus/mtbf,
+  /// driven by a seeded resil::FaultInjector. A failure takes down one GPU;
+  /// if none is idle, a running job is killed (weighted by its GPU
+  /// footprint), loses all progress, and is requeued.
+  double gpu_mtbf = 0.0;
+  /// Downtime before a failed GPU rejoins the pool (0 = instant repair).
+  double gpu_repair_time = 0.0;
+  std::uint64_t fault_seed = 99;
 };
 
 struct ScheduleMetrics {
   double makespan = 0.0;
-  double mean_wait = 0.0;
+  double mean_wait = 0.0;           ///< submit -> final successful start
   double max_wait = 0.0;
-  double mean_turnaround = 0.0;     ///< wait + service
-  double utilization = 0.0;         ///< busy GPU-time / (gpus * makespan)
+  double mean_turnaround = 0.0;     ///< submit -> completion
+  double utilization = 0.0;         ///< useful GPU-time / (gpus * makespan)
   double throughput = 0.0;          ///< jobs per unit time
   std::size_t completed = 0;
+  std::size_t gpu_failures = 0;     ///< failure events applied
+  std::size_t requeues = 0;         ///< jobs killed mid-run and requeued
+  double lost_gpu_time = 0.0;       ///< GPU-seconds of discarded progress
 };
 
 struct JobOutcome {
   Job job;
-  double start_time = 0.0;
+  double start_time = 0.0;   ///< start of the final (successful) attempt
   double finish_time = 0.0;
+  int restarts = 0;          ///< attempts killed by GPU failures
 };
 
 /// Runs the workload to completion under the policy; jobs need not be

@@ -1,5 +1,6 @@
 #include "stencil/wave.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -231,6 +232,27 @@ double WaveSolver::max_abs() const {
     }
   }
   return m;
+}
+
+void WaveSolver::save_state(std::vector<double>& out) const {
+  out.clear();
+  out.reserve(2 + u_.size() + u_prev_.size() + shake_.size());
+  out.push_back(t_);
+  out.push_back(static_cast<double>(steps_));
+  out.insert(out.end(), u_.begin(), u_.end());
+  out.insert(out.end(), u_prev_.begin(), u_prev_.end());
+  out.insert(out.end(), shake_.begin(), shake_.end());
+}
+
+void WaveSolver::restore_state(const std::vector<double>& in) {
+  const double* c = in.data();
+  t_ = *c++;
+  steps_ = static_cast<std::size_t>(*c++);
+  std::copy(c, c + u_.size(), u_.begin());
+  c += u_.size();
+  std::copy(c, c + u_prev_.size(), u_prev_.begin());
+  c += u_prev_.size();
+  std::copy(c, c + shake_.size(), shake_.begin());
 }
 
 double halo_exchange_time(const hsim::ClusterModel& net, std::size_t n) {

@@ -20,6 +20,7 @@
 #include "core/exec.hpp"
 #include "core/view.hpp"
 #include "core/machine.hpp"
+#include "resil/checkpoint.hpp"
 
 namespace coe::stencil {
 
@@ -42,7 +43,7 @@ struct PointSource {
   double value(double t) const;
 };
 
-class WaveSolver {
+class WaveSolver : public resil::Checkpointable {
  public:
   /// Interior grid n^3 on [0, L]^3, zero Dirichlet boundary, wave speed c.
   WaveSolver(core::ExecContext& ctx, std::size_t nx, std::size_t ny,
@@ -84,6 +85,11 @@ class WaveSolver {
   /// Model data: bytes touched per grid point for the current options.
   double bytes_per_point() const;
   double flops_per_point() const;
+
+  /// Checkpointable: the leapfrog state (u, u_prev), the shake map, and
+  /// the clock. Sources and material fields are configuration, not state.
+  void save_state(std::vector<double>& out) const override;
+  void restore_state(const std::vector<double>& in) override;
 
  private:
   std::size_t idx(std::size_t i, std::size_t j, std::size_t k) const {

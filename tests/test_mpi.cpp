@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 
 #include "mpi/comm.hpp"
+#include "resil/fault.hpp"
 #include "stencil/distributed.hpp"
 #include "stencil/wave.hpp"
 
@@ -201,6 +203,86 @@ TEST(Mpi, Distributed3dWaveMatchesSerialSolver) {
       }
     }
   }
+}
+
+TEST(MpiFailure, MismatchedTagRecvTimesOutInsteadOfHanging) {
+  // No rank ever sends tag 99: the recv must surface as CommTimeout within
+  // the configured deadline, never an indefinite hang.
+  mpi::RunOptions opts;
+  opts.timeout_seconds = 0.2;
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(mpi::run(2, opts,
+                        [](mpi::Communicator& comm) {
+                          if (comm.rank() == 0) comm.send(1, 1, {1.0});
+                          if (comm.rank() == 1) (void)comm.recv(0, 99);
+                        }),
+               mpi::CommTimeout);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(MpiFailure, InjectedRankFailurePropagatesOutOfRun) {
+  // A hook with a tiny op budget kills some rank inside its first few
+  // communicator operations; run() must rethrow the RankFailure.
+  mpi::RunOptions opts;
+  opts.timeout_seconds = 5.0;
+  opts.fault_hook = resil::make_rank_fault_hook(4, /*mean_ops=*/2.0,
+                                                /*seed=*/11);
+  try {
+    mpi::run(4, opts, [](mpi::Communicator& comm) {
+      for (int it = 0; it < 50; ++it) {
+        comm.barrier();
+        (void)comm.allreduce_sum(1.0);
+      }
+    });
+    FAIL() << "expected resil::RankFailure";
+  } catch (const resil::RankFailure& e) {
+    EXPECT_GE(e.rank, 0);
+    EXPECT_LT(e.rank, 4);
+  }
+}
+
+TEST(MpiFailure, SurvivorsUnblockWhenPeerDiesBeforeBarrier) {
+  // Rank 1 dies before entering the barrier. Survivors must wake with
+  // PeerFailure immediately (well before the 30 s deadline), and run()
+  // must rethrow rank 1's original error, not the secondary failures.
+  std::atomic<int> peer_failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    mpi::run(4, [&](mpi::Communicator& comm) {
+      if (comm.rank() == 1) throw std::runtime_error("boom");
+      try {
+        comm.barrier();
+      } catch (const mpi::PeerFailure&) {
+        peer_failures.fetch_add(1);
+        throw;
+      }
+    });
+    FAIL() << "expected the original error to propagate";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_EQ(peer_failures.load(), 3);
+  EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(MpiFailure, GenerousOpBudgetLeavesRunClean) {
+  // Draws beyond max_ops never fire: with a huge mean and a tight cap the
+  // hook is installed but the run completes normally.
+  mpi::RunOptions opts;
+  opts.fault_hook =
+      resil::make_rank_fault_hook(3, /*mean_ops=*/1e9, /*seed=*/1,
+                                  /*max_ops=*/1e6);
+  auto stats = mpi::run(3, opts, [](mpi::Communicator& comm) {
+    comm.barrier();
+    EXPECT_DOUBLE_EQ(comm.allreduce_sum(1.0), 3.0);
+  });
+  EXPECT_EQ(stats.barriers, 1u);
 }
 
 TEST(Mpi, DistributedWaveRankCountInvariant) {

@@ -1,0 +1,349 @@
+// Tests for coe::resil: the seeded fault clock, checkpoint pricing through
+// the machine model, bitwise-exact solver checkpoint round trips across
+// three mini-app families, failure-aware scheduling, and the run_resilient
+// recovery guarantee (faulted run == fault-free run, bitwise).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "md/simulation.hpp"
+#include "ode/integrator.hpp"
+#include "resil/resil.hpp"
+#include "sched/scheduler.hpp"
+#include "stencil/wave.hpp"
+
+namespace {
+
+using namespace coe;
+
+TEST(FaultInjector, DeterministicSeededExponential) {
+  resil::FaultInjector a(10.0, 42), b(10.0, 42);
+  double sum = 0.0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    const double da = a.draw();
+    EXPECT_DOUBLE_EQ(da, b.draw());
+    sum += da;
+  }
+  // Mean of exponential(mtbf=10) draws concentrates near 10.
+  EXPECT_NEAR(sum / n, 10.0, 0.5);
+}
+
+TEST(FaultInjector, DisabledNeverFires) {
+  resil::FaultInjector f(0.0, 1);
+  EXPECT_FALSE(f.enabled());
+  EXPECT_FALSE(f.fire(1e300));
+}
+
+TEST(FaultInjector, FireAdvancesClock) {
+  resil::FaultInjector f(5.0, 7);
+  const double first = f.next();
+  EXPECT_FALSE(f.fire(first * 0.5));
+  EXPECT_TRUE(f.fire(first));
+  EXPECT_GT(f.next(), first);
+}
+
+TEST(YoungDaly, FormulaAndMonotonicity) {
+  EXPECT_DOUBLE_EQ(resil::young_daly_interval(50.0, 2.0),
+                   std::sqrt(2.0 * 2.0 * 50.0));
+  // Dearer checkpoints and rarer faults both stretch the interval.
+  EXPECT_LT(resil::young_daly_interval(50.0, 1.0),
+            resil::young_daly_interval(50.0, 4.0));
+  EXPECT_LT(resil::young_daly_interval(10.0, 1.0),
+            resil::young_daly_interval(1000.0, 1.0));
+}
+
+// A trivial Checkpointable for store-level tests.
+struct Blob : resil::Checkpointable {
+  std::vector<double> v;
+  void save_state(std::vector<double>& out) const override { out = v; }
+  void restore_state(const std::vector<double>& in) override { v = in; }
+};
+
+TEST(CheckpointStore, ChargesTransfersToMachineModel) {
+  auto ctx = core::make_device();
+  Blob b;
+  b.v.assign(1000, 3.14);
+  resil::CheckpointStore store;
+  store.write("b", 5, b, ctx);
+  EXPECT_EQ(ctx.counters().transfers, 1u);
+  EXPECT_DOUBLE_EQ(ctx.counters().d2h_bytes, 8000.0);
+  const double after_write = ctx.simulated_time();
+  EXPECT_GT(after_write, 0.0);
+
+  b.v.assign(1000, -1.0);
+  std::size_t step = 0;
+  ASSERT_TRUE(store.restore_latest("b", b, ctx, &step));
+  EXPECT_EQ(step, 5u);
+  EXPECT_DOUBLE_EQ(b.v[0], 3.14);
+  EXPECT_DOUBLE_EQ(ctx.counters().h2d_bytes, 8000.0);
+  EXPECT_GT(ctx.simulated_time(), after_write);
+  EXPECT_EQ(store.stats().writes, 1u);
+  EXPECT_EQ(store.stats().restores, 1u);
+}
+
+TEST(CheckpointStore, KeepsLatestTwo) {
+  auto ctx = core::make_device();
+  Blob b;
+  resil::CheckpointStore store;
+  for (std::size_t s = 1; s <= 5; ++s) {
+    b.v.assign(4, static_cast<double>(s));
+    store.write("b", s, b, ctx);
+  }
+  ASSERT_NE(store.latest("b"), nullptr);
+  EXPECT_EQ(store.latest("b")->step, 5u);
+  EXPECT_EQ(store.latest("missing"), nullptr);
+}
+
+TEST(Checkpoint, WaveSolverRoundTripIsBitwise) {
+  auto mk = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 12, 10, 10, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, w.stable_dt());
+    w.add_source({6, 5, 5, 1.0, 2.0, 0.05});
+    return w;
+  };
+  auto ctx = core::make_device();
+  auto w = mk(ctx);
+  const double dt = w.stable_dt();
+  for (int s = 0; s < 10; ++s) w.step(dt);
+  std::vector<double> ck;
+  w.save_state(ck);
+  for (int s = 0; s < 7; ++s) w.step(dt);
+  std::vector<double> final_a;
+  w.save_state(final_a);
+
+  w.restore_state(ck);
+  EXPECT_EQ(w.steps_taken(), 10u);
+  for (int s = 0; s < 7; ++s) w.step(dt);
+  std::vector<double> final_b;
+  w.save_state(final_b);
+  ASSERT_EQ(final_a.size(), final_b.size());
+  for (std::size_t i = 0; i < final_a.size(); ++i) {
+    EXPECT_EQ(final_a[i], final_b[i]) << "blob index " << i;
+  }
+}
+
+TEST(Checkpoint, Rk4StepperMatchesBatchIntegrator) {
+  struct Decay : ode::OdeRhs {
+    void eval(double t, const ode::NVector& y, ode::NVector& ydot) override {
+      const auto ys = y.data();
+      auto ds = ydot.data();
+      for (std::size_t i = 0; i < ys.size(); ++i) {
+        ds[i] = -0.7 * ys[i] + 0.1 * std::sin(t);
+      }
+    }
+  };
+  auto ctx = core::make_device();
+  const std::size_t n = 64;
+  Decay f;
+
+  ode::NVector ya(ctx, n, 1.0);
+  ode::Rk4().integrate(f, 0.0, 1.0, 50, ya);
+
+  ode::NVector yb(ctx, n, 1.0);
+  ode::Rk4Stepper stepper(f, yb, 0.0, 1.0 / 50.0);
+  for (int s = 0; s < 50; ++s) stepper.step();
+
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(ya.data()[i], yb.data()[i]);
+  }
+}
+
+TEST(Checkpoint, MdSimulationRoundTripIsBitwise) {
+  // Langevin + Berendsen: the round trip must restore the RNG stream and
+  // the barostat-scaled box, not just particle arrays.
+  core::Rng init(13);
+  md::Particles p;
+  md::Box box;
+  md::init_lattice(p, box, 4, 0.7, 1.0, init);
+  auto gpu = core::make_device();
+  auto cpu = core::make_cpu();
+  md::SimConfig cfg;
+  cfg.thermostat = md::Thermostat::Langevin;
+  cfg.temperature = 1.2;
+  cfg.barostat = md::Barostat::Berendsen;
+  cfg.pressure = 1.0;
+  md::Simulation<md::LennardJones> sim(gpu, cpu, std::move(p), box,
+                                       md::LennardJones(1.0, 1.0, 2.5), cfg,
+                                       0.4);
+  for (int s = 0; s < 10; ++s) sim.step();
+  std::vector<double> ck;
+  sim.save_state(ck);
+  for (int s = 0; s < 8; ++s) sim.step();
+  std::vector<double> final_a;
+  sim.save_state(final_a);
+
+  sim.restore_state(ck);
+  for (int s = 0; s < 8; ++s) sim.step();
+  std::vector<double> final_b;
+  sim.save_state(final_b);
+  ASSERT_EQ(final_a.size(), final_b.size());
+  for (std::size_t i = 0; i < final_a.size(); ++i) {
+    ASSERT_EQ(final_a[i], final_b[i]) << "blob index " << i;
+  }
+}
+
+TEST(RunResilient, FaultedRunMatchesFaultFreeBitwise) {
+  auto build = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 10, 10, 10, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(2.0 * M_PI * y) *
+                 std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, 0.01);
+    return w;
+  };
+
+  // Fault-free reference.
+  auto ctx_a = core::make_device();
+  auto wa = build(ctx_a);
+  const std::size_t steps = 60;
+  for (std::size_t s = 0; s < steps; ++s) wa.step(0.01);
+  const double ref_time = ctx_a.simulated_time();
+
+  // Faulted, checkpointed run: MTBF a few modeled step times.
+  auto ctx_b = core::make_device();
+  auto wb = build(ctx_b);
+  resil::ResilienceConfig cfg;
+  cfg.mtbf = 1e-4;
+  cfg.seed = 5;
+  auto rep = resil::run_resilient(
+      wb, ctx_b, steps, [&](std::size_t) { wb.step(0.01); }, cfg);
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_GT(rep.faults, 0u);
+  EXPECT_GT(rep.steps_replayed, 0u);
+  EXPECT_GT(rep.checkpoints, 1u);
+  // Recovery costs time on the modeled machine...
+  EXPECT_GT(rep.total_time, ref_time);
+  EXPECT_GT(rep.wasted_time, 0.0);
+  // ...but the answer is exactly the fault-free one.
+  std::vector<double> sa, sb;
+  wa.save_state(sa);
+  wb.save_state(sb);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) {
+    ASSERT_EQ(sa[i], sb[i]) << "blob index " << i;
+  }
+}
+
+TEST(RunResilient, NoFaultsMeansNoReplay) {
+  auto ctx = core::make_device();
+  auto w = stencil::WaveSolver(ctx, 8, 8, 8, 1.0, 1.0, {});
+  resil::ResilienceConfig cfg;  // mtbf = 0: reliable machine
+  auto rep = resil::run_resilient(
+      w, ctx, 20, [&](std::size_t) { w.step(0.01); }, cfg);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.faults, 0u);
+  EXPECT_EQ(rep.steps_executed, 20u);
+  EXPECT_EQ(rep.steps_replayed, 0u);
+  EXPECT_EQ(rep.checkpoints, 1u);  // only the step-0 baseline
+}
+
+TEST(RunResilient, YoungDalyIntervalBeatsTenXEitherWay) {
+  // Acceptance: the Young/Daly interval must yield lower total simulated
+  // time than both a 10x shorter and a 10x longer interval. Averaged over
+  // seeds to tame fault-arrival variance.
+  struct Decay : ode::OdeRhs {
+    void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
+      const auto ys = y.data();
+      auto ds = ydot.data();
+      for (std::size_t i = 0; i < ys.size(); ++i) ds[i] = -0.3 * ys[i];
+    }
+  };
+  const std::size_t n = 512, steps = 3000;
+  const double mtbf = 0.02;
+
+  auto total_for = [&](double interval, std::uint64_t seed) {
+    auto ctx = core::make_device();
+    Decay f;
+    ode::NVector y(ctx, n, 1.0);
+    ode::Rk4Stepper stepper(f, y, 0.0, 1e-4);
+    resil::ResilienceConfig cfg;
+    cfg.mtbf = mtbf;
+    cfg.checkpoint_interval = interval;
+    cfg.seed = seed;
+    auto rep = resil::run_resilient(
+        stepper, ctx, steps, [&](std::size_t) { stepper.step(); }, cfg);
+    EXPECT_TRUE(rep.completed);
+    return rep.total_time;
+  };
+
+  auto probe_ctx = core::make_device();
+  Decay f;
+  ode::NVector y(probe_ctx, n, 1.0);
+  ode::Rk4Stepper probe(f, y, 0.0, 1e-4);
+  const double c = resil::modeled_checkpoint_cost(probe, probe_ctx);
+  const double yd = resil::young_daly_interval(mtbf, c);
+
+  double t_short = 0.0, t_yd = 0.0, t_long = 0.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    t_short += total_for(yd / 10.0, seed);
+    t_yd += total_for(yd, seed);
+    t_long += total_for(yd * 10.0, seed);
+  }
+  EXPECT_LT(t_yd, t_short);
+  EXPECT_LT(t_yd, t_long);
+}
+
+TEST(SchedFailures, JobsRequeueAndAllComplete) {
+  auto jobs = sched::make_workload({200, 60.0, 1.5, 0.0, 0.0, 7});
+  sched::SchedulerConfig reliable{8, sched::Policy::Sjf, 0.0, 0};
+  auto m0 = sched::Simulator(reliable).run(jobs);
+  ASSERT_EQ(m0.completed, jobs.size());
+  EXPECT_EQ(m0.gpu_failures, 0u);
+  EXPECT_DOUBLE_EQ(m0.lost_gpu_time, 0.0);
+
+  sched::SchedulerConfig flaky = reliable;
+  flaky.gpu_mtbf = 2000.0;  // each GPU fails every ~33 job-lengths
+  flaky.gpu_repair_time = 30.0;
+  flaky.fault_seed = 3;
+  auto m1 = sched::Simulator(flaky).run(jobs);
+  EXPECT_EQ(m1.completed, jobs.size());  // failure-aware requeue loses no job
+  EXPECT_GT(m1.gpu_failures, 0u);
+  EXPECT_GT(m1.requeues, 0u);
+  EXPECT_GT(m1.lost_gpu_time, 0.0);
+  // Lost work + downtime stretch the schedule.
+  EXPECT_GT(m1.makespan, m0.makespan);
+  EXPECT_LT(m1.utilization, 1.0);
+}
+
+TEST(SchedFailures, RestartsRecordedInOutcomes) {
+  auto jobs = sched::make_workload({100, 80.0, 1.2, 0.0, 0.0, 11});
+  sched::SchedulerConfig cfg{4, sched::Policy::Fcfs, 0.0, 0};
+  cfg.gpu_mtbf = 500.0;  // aggressive: plenty of failures
+  cfg.gpu_repair_time = 20.0;
+  cfg.fault_seed = 17;
+  sched::Simulator sim(cfg);
+  auto m = sim.run(jobs);
+  EXPECT_EQ(m.completed, jobs.size());
+  std::size_t restarts = 0;
+  for (const auto& o : sim.outcomes()) {
+    restarts += static_cast<std::size_t>(o.restarts);
+    EXPECT_GE(o.finish_time, o.start_time);
+  }
+  EXPECT_EQ(restarts, m.requeues);
+  EXPECT_GT(restarts, 0u);
+}
+
+TEST(SchedFailures, SeededFaultsAreReproducible) {
+  auto jobs = sched::make_workload({150, 50.0, 1.5, 0.0, 0.0, 9});
+  sched::SchedulerConfig cfg{8, sched::Policy::SjfQuota, 0.0, 0};
+  cfg.gpu_mtbf = 1000.0;
+  cfg.gpu_repair_time = 25.0;
+  cfg.fault_seed = 21;
+  auto a = sched::Simulator(cfg).run(jobs);
+  auto b = sched::Simulator(cfg).run(jobs);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.gpu_failures, b.gpu_failures);
+  EXPECT_EQ(a.requeues, b.requeues);
+  EXPECT_DOUBLE_EQ(a.lost_gpu_time, b.lost_gpu_time);
+}
+
+}  // namespace
