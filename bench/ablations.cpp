@@ -14,6 +14,8 @@
 #include "sched/scheduler.hpp"
 #include "stencil/wave.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -160,7 +162,7 @@ void ablate_quota_size() {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(ablations) {
   std::printf("=== Ablation studies ===\n\n");
   ablate_amg();
   ablate_fem_assembly();

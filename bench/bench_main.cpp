@@ -1,0 +1,136 @@
+#include "bench/bench_main.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace coe::bench {
+
+void Harness::add_machine(std::string name, double sim_seconds) {
+  MachineResult r;
+  r.name = std::move(name);
+  r.sim_seconds = sim_seconds;
+  machines_.push_back(std::move(r));
+}
+
+void Harness::add_context(std::string name, const core::ExecContext& ctx) {
+  MachineResult r;
+  r.name = std::move(name);
+  r.sim_seconds = ctx.simulated_time();
+  r.has_counters = true;
+  r.counters = ctx.counters();
+  machines_.push_back(std::move(r));
+}
+
+namespace {
+
+obs::Json counters_json(const hsim::Counters& c) {
+  auto o = obs::Json::object();
+  o.set("flops", obs::Json::number(c.flops));
+  o.set("bytes", obs::Json::number(c.bytes));
+  o.set("launches", obs::Json::number(static_cast<double>(c.launches)));
+  o.set("transfers", obs::Json::number(static_cast<double>(c.transfers)));
+  o.set("h2d_bytes", obs::Json::number(c.h2d_bytes));
+  o.set("d2h_bytes", obs::Json::number(c.d2h_bytes));
+  return o;
+}
+
+/// Writes the report; returns false (after a stderr warning) on IO errors.
+bool write_json_report(const Harness& h, double wall_seconds) {
+  const std::string base = h.out_dir() + "/";
+  std::string trace_path;
+  if (!h.trace().empty()) {
+    trace_path = base + "TRACE_" + h.name() + ".json";
+    std::ofstream tf(trace_path);
+    if (tf) {
+      obs::write_chrome_trace(tf, h.trace());
+    }
+    if (!tf) {
+      std::fprintf(stderr, "[bench] warning: could not write %s\n",
+                   trace_path.c_str());
+      trace_path.clear();
+    }
+  }
+
+  auto root = obs::Json::object();
+  root.set("schema", obs::Json::string("coe-bench-v1"));
+  root.set("name", obs::Json::string(h.name()));
+  root.set("wall_seconds", obs::Json::number(wall_seconds));
+
+  auto machines = obs::Json::array();
+  for (const auto& m : h.machines()) {
+    auto mo = obs::Json::object();
+    mo.set("name", obs::Json::string(m.name));
+    mo.set("sim_seconds", obs::Json::number(m.sim_seconds));
+    mo.set("counters",
+           m.has_counters ? counters_json(m.counters) : obs::Json());
+    machines.push(std::move(mo));
+  }
+  root.set("machines", std::move(machines));
+  root.set("metrics", obs::Json::parse(h.metrics().to_json()));
+
+  if (!h.trace().empty() && !trace_path.empty()) {
+    auto to = obs::Json::object();
+    to.set("path", obs::Json::string(trace_path));
+    to.set("events",
+           obs::Json::number(static_cast<double>(h.trace().size())));
+    to.set("dropped",
+           obs::Json::number(static_cast<double>(h.trace().dropped())));
+    root.set("trace", std::move(to));
+  } else {
+    root.set("trace", obs::Json());
+  }
+
+  const std::string path = base + "BENCH_" + h.name() + ".json";
+  std::ofstream f(path);
+  if (f) f << root.dump() << "\n";
+  if (!f) {
+    std::fprintf(stderr, "[bench] warning: could not write %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace
+
+int run_bench(int argc, char** argv, const char* name, int (*body)(Harness&)) {
+  Harness h;
+  h.name_ = name;
+  if (const char* dir = std::getenv("COE_BENCH_DIR")) {
+    if (*dir != '\0') h.out_dir_ = dir;
+  }
+  h.args_.push_back(argc > 0 ? argv[0] : const_cast<char*>("bench"));
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
+      h.out_dir_ = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--bench-no-json") == 0) {
+      h.json_enabled_ = false;
+    } else {
+      h.args_.push_back(argv[i]);
+    }
+  }
+  h.args_.push_back(nullptr);
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  int rc = 0;
+  try {
+    rc = body(h);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] %s failed: %s\n", name, e.what());
+    return 1;
+  }
+  const double wall =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  if (h.json_enabled_) write_json_report(h, wall);
+  return rc;
+}
+
+}  // namespace coe::bench

@@ -1,0 +1,91 @@
+#pragma once
+// Shared harness every bench binary registers with (DESIGN.md section 10.3).
+// A bench defines its body with COE_BENCH_MAIN(name) and keeps printing its
+// human-readable tables to stdout exactly as before (the EXPERIMENTS.md
+// oracle diffs that stream); the harness times the run, collects whatever
+// the body publishes into its MetricsRegistry / TraceBuffer / machine list,
+// and writes a standardized BENCH_<name>.json next to the binary (or under
+// --bench-out=DIR / $COE_BENCH_DIR). Harness notices go to stderr so stdout
+// stays byte-for-byte diffable.
+//
+// Flags consumed by the harness (anything else is left for the body via
+// bench.argc()/bench.argv() — google-benchmark flags pass through):
+//   --bench-out=DIR   directory for BENCH_*.json / TRACE_*.json
+//   --bench-no-json   run the body, skip the JSON artifacts
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/exec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace coe::bench {
+
+/// One simulated machine's headline result for the bench JSON: a name, the
+/// simulated seconds it accumulated, and (when captured from an
+/// ExecContext) the aggregate operation counters behind that time.
+struct MachineResult {
+  std::string name;
+  double sim_seconds = 0.0;
+  bool has_counters = false;
+  hsim::Counters counters;
+};
+
+class Harness {
+ public:
+  /// Sinks the body publishes into; all three end up in the JSON report.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  obs::TraceBuffer& trace() { return trace_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  const obs::TraceBuffer& trace() const { return trace_; }
+
+  /// Records a machine's simulated time (e.g. a shadow machine or a
+  /// repriced total) without counters.
+  void add_machine(std::string name, double sim_seconds);
+
+  /// Records an ExecContext's simulated time plus its aggregate counters.
+  void add_context(std::string name, const core::ExecContext& ctx);
+
+  const std::vector<MachineResult>& machines() const { return machines_; }
+
+  /// Command-line arguments left after the harness consumed its own flags
+  /// (argv()[0] is the program name; the vector is NULL-terminated so it
+  /// can be handed to benchmark::Initialize).
+  int argc() const { return static_cast<int>(args_.size()) - 1; }
+  char** argv() { return args_.data(); }
+
+  const std::string& name() const { return name_; }
+  const std::string& out_dir() const { return out_dir_; }
+  bool json_enabled() const { return json_enabled_; }
+
+ private:
+  friend int run_bench(int argc, char** argv, const char* name,
+                       int (*body)(Harness&));
+  obs::MetricsRegistry metrics_;
+  obs::TraceBuffer trace_;
+  std::vector<MachineResult> machines_;
+  std::vector<char*> args_;  ///< leftover argv + trailing nullptr
+  std::string name_;
+  std::string out_dir_ = ".";
+  bool json_enabled_ = true;
+};
+
+/// Parses harness flags, runs `body`, writes BENCH_<name>.json (and
+/// TRACE_<name>.json when the trace buffer is non-empty); returns the
+/// body's exit code. Artifact-write failures warn on stderr but do not
+/// fail the bench.
+int run_bench(int argc, char** argv, const char* name, int (*body)(Harness&));
+
+}  // namespace coe::bench
+
+/// Defines the bench body (replacing `int main()`) and the real main()
+/// that routes through the harness. The body receives `Harness& bench`.
+#define COE_BENCH_MAIN(name)                                              \
+  static int coe_bench_body_(::coe::bench::Harness& bench);               \
+  int main(int argc, char** argv) {                                       \
+    return ::coe::bench::run_bench(argc, argv, #name, &coe_bench_body_);  \
+  }                                                                       \
+  static int coe_bench_body_([[maybe_unused]] ::coe::bench::Harness& bench)

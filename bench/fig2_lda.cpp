@@ -10,9 +10,11 @@
 #include "analytics/spark.hpp"
 #include "core/table.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(fig2_lda) {
   std::printf("=== Figure 2: SparkPlug LDA, default vs optimized stack ===\n");
 
   // Real LDA on a synthetic Zipf corpus: verifies the algorithm converges
@@ -75,5 +77,10 @@ int main() {
               " more than 2X over the default, nonoptimized stack\" -- "
               "model gives %.2fx on 32 nodes.\n",
               def.total() / opt.total());
+
+  bench.add_machine("power9_default_stack", def.total());
+  bench.add_machine("power9_optimized_stack", opt.total());
+  bench.metrics().set("fig2.gain", def.total() / opt.total());
+  bench.metrics().set("fig2.perplexity_final", trace.back());
   return 0;
 }

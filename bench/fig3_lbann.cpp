@@ -7,9 +7,11 @@
 #include "core/table.hpp"
 #include "ml/lbann.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(fig3_lbann) {
   std::printf("=== Figure 3: LBANN strong/weak scaling to 2048 GPUs ===\n\n");
   ml::LbannModel m;
   const auto v100 = hsim::machines::v100();
@@ -51,5 +53,11 @@ int main() {
   std::printf("\nShape checks: columns nearly flat as GPUs grow (weak"
               " scaling); moving right along a row shows the strong-scaling"
               " gain of deeper sample partitioning.\n");
+
+  for (std::size_t p : {2, 4, 8, 16, 32}) {
+    bench.add_machine("v100_x" + std::to_string(p),
+                      ml::sample_step_time(m, v100, p));
+  }
+  bench.metrics().set("fig3.speedup_p16", ml::sample_speedup(m, v100, 16));
   return 0;
 }

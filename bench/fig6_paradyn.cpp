@@ -9,6 +9,8 @@
 #include "core/table.hpp"
 #include "dyn/paradyn.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -24,7 +26,7 @@ double wall_seconds(dyn::LoopVariant v, std::size_t n, std::size_t steps) {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(fig6_paradyn) {
   std::printf("=== Figure 6: ParaDyn SLNSP + dead-store elimination ===\n\n");
   const std::size_t n = 1 << 20;  // 1M elements
   const std::size_t steps = 20;
@@ -43,6 +45,10 @@ int main() {
       base_model = model_ms;
       base_host = host_ms;
     }
+    bench.add_context(dyn::to_string(v), gpu);
+    bench.metrics().set(std::string("fig6.") + dyn::to_string(v) +
+                            ".model_ms",
+                        model_ms);
     t.row({dyn::to_string(v), std::to_string(counts.kernels / steps),
            std::to_string(counts.loads / steps / n),
            std::to_string(counts.stores / steps / n),

@@ -8,6 +8,8 @@
 
 #include "amg/amg.hpp"
 #include "beamline/fft.hpp"
+#include "bench/bench_main.hpp"
+#include "core/exec.hpp"
 #include "core/rng.hpp"
 #include "dyn/paradyn.hpp"
 #include "fem/fem.hpp"
@@ -154,6 +156,53 @@ BENCHMARK(BM_ParadynVariant)
     ->Args({1, 1 << 18})
     ->Args({2, 1 << 18});
 
+void BM_ForallTracing(benchmark::State& state) {
+  // Tracing-overhead check (DESIGN.md section 10.1): the same forall with
+  // no trace buffer attached (Arg 0) vs a ring-buffer sink (Arg 1). With
+  // tracing off the only per-launch cost is one branch.
+  const bool traced = state.range(0) != 0;
+  obs::TraceBuffer buf(1 << 12);
+  auto ctx = core::make_seq();
+  if (traced) ctx.set_trace(&buf);
+  std::vector<double> v(1 << 14, 1.0);
+  const hsim::Workload w{1.0, 16.0};
+  for (auto _ : state) {
+    ctx.forall(v.size(), w,
+               [&](std::size_t i) { v[i] = v[i] * 1.0000001 + 1e-9; });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(v.size()));
+}
+BENCHMARK(BM_ForallTracing)->Arg(0)->Arg(1);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+COE_BENCH_MAIN(microbench_kernels) {
+  // Leftover argv (e.g. --benchmark_filter=...) goes straight through to
+  // google-benchmark; the reporter mirrors each benchmark's per-iteration
+  // real time into the metrics registry so BENCH_microbench_kernels.json
+  // carries the headline numbers.
+  class Reporter : public benchmark::ConsoleReporter {
+   public:
+    explicit Reporter(obs::MetricsRegistry& m) : metrics_(m) {}
+    void ReportRuns(const std::vector<Run>& reports) override {
+      for (const auto& run : reports) {
+        if (run.error_occurred || run.iterations == 0) continue;
+        metrics_.set("microbench." + run.benchmark_name() + ".real_s",
+                     run.real_accumulated_time /
+                         static_cast<double>(run.iterations));
+      }
+      ConsoleReporter::ReportRuns(reports);
+    }
+
+   private:
+    obs::MetricsRegistry& metrics_;
+  };
+
+  int argc = bench.argc();
+  benchmark::Initialize(&argc, bench.argv());
+  Reporter reporter(bench.metrics());
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  return 0;
+}

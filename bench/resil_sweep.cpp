@@ -14,6 +14,8 @@
 #include "resil/resil.hpp"
 #include "sched/scheduler.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -34,7 +36,8 @@ struct SweepPoint {
 };
 
 SweepPoint run_point(double mtbf, double interval, std::size_t steps,
-                     std::size_t n, int seeds) {
+                     std::size_t n, int seeds,
+                     obs::MetricsRegistry* metrics = nullptr) {
   SweepPoint acc;
   for (int seed = 1; seed <= seeds; ++seed) {
     auto ctx = core::make_device();
@@ -45,6 +48,7 @@ SweepPoint run_point(double mtbf, double interval, std::size_t steps,
     cfg.mtbf = mtbf;
     cfg.checkpoint_interval = interval;
     cfg.seed = static_cast<std::uint64_t>(seed);
+    cfg.metrics = metrics;
     auto rep = resil::run_resilient(
         stepper, ctx, steps, [&](std::size_t) { stepper.step(); }, cfg);
     if (!rep.completed) std::printf("  !! run did not complete\n");
@@ -60,7 +64,7 @@ SweepPoint run_point(double mtbf, double interval, std::size_t steps,
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(resil_sweep) {
   std::printf("=== coe::resil: MTBF x checkpoint-interval sweep ===\n\n");
 
   const std::size_t n = 512, steps = 4000;
@@ -96,7 +100,8 @@ int main() {
                       run_point(mtbf, cand.interval, steps, n, seeds).total);
     }
     for (const auto& cand : cands) {
-      const auto p = run_point(mtbf, cand.interval, steps, n, seeds);
+      const auto p =
+          run_point(mtbf, cand.interval, steps, n, seeds, &bench.metrics());
       std::string label = cand.label;
       if (p.total == best) label += " <-- min";
       t.row({label, core::Table::num(p.total, 6),
@@ -120,6 +125,7 @@ int main() {
     cfg.gpu_mtbf = mtbf;
     cfg.gpu_repair_time = 120.0;
     cfg.fault_seed = 5;
+    cfg.metrics = &bench.metrics();
     auto m = sched::Simulator(cfg).run(jobs);
     s.row({mtbf > 0.0 ? core::Table::num(mtbf, 0) : "reliable",
            core::Table::num(m.makespan, 0),

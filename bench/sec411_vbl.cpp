@@ -8,9 +8,11 @@
 #include "core/rng.hpp"
 #include "core/table.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(sec411_vbl) {
   std::printf("=== Section 4.11: VBL transpose, transfers, defects ===\n\n");
 
   // Transpose comparison: real single-core wall time + modeled traffic.

@@ -9,6 +9,8 @@
 #include "core/table.hpp"
 #include "reaction/monodomain.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -67,7 +69,7 @@ double time_runtime_rational(std::size_t cells, std::size_t steps) {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(sec41_cardioid) {
   std::printf("=== Section 4.1 (Cardioid): reaction kernels + placement ===\n\n");
 
   const std::size_t cells = 20000, steps = 100;
@@ -87,6 +89,8 @@ int main() {
          core::Table::num(1e3 * t_spec / steps, 3),
          core::Table::num(t_libm / t_spec, 2) + "x"});
   t.print();
+  bench.metrics().set("sec41.rational_speedup", t_libm / t_rat);
+  bench.metrics().set("sec41.specialized_speedup", t_libm / t_spec);
   std::printf("\nPaper: \"replacing expensive functions with run-time"
               " rational polynomials was essential\"; \"changing run-time"
               " polynomial coefficients into compile-time constants could"

@@ -8,9 +8,11 @@
 #include "core/table.hpp"
 #include "kinetics/solver.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(sec43_cretin) {
   std::printf("=== Section 4.3 (Cretin): minikin GPU vs CPU rates ===\n\n");
 
   const std::size_t cpu_cores = 44;   // 2x P9

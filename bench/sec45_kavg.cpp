@@ -7,9 +7,11 @@
 #include "core/table.hpp"
 #include "ml/ml.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(sec45_kavg) {
   std::printf("=== Section 4.5: KAVG vs ASGD distributed training ===\n\n");
 
   auto ds = ml::make_blobs(800, 10, 8, 0.85, 41);

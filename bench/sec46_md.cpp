@@ -9,6 +9,8 @@
 #include "core/table.hpp"
 #include "md/md.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -51,7 +53,7 @@ RunResult run_martini(md::Placement placement, int steps) {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(sec46_md) {
   std::printf("=== Section 4.6: ddcMD vs GROMACS-like baseline ===\n\n");
   const int steps = 50;
 

@@ -8,9 +8,11 @@
 #include "core/table.hpp"
 #include "sched/scheduler.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(sec47_sched) {
   std::printf("=== Section 4.7: job-scheduler policy study ===\n\n");
 
   const int gpus = 16;
@@ -44,8 +46,13 @@ int main() {
   auto jobs = sched::make_workload({1000, mean_dur, 0.8, 0.1, 0.0, 21});
   for (auto p : {sched::Policy::Fcfs, sched::Policy::Sjf,
                  sched::Policy::SjfQuota}) {
-    sched::Simulator sim({gpus, p, 0.0, 0});
+    sched::SchedulerConfig cfg{gpus, p, 0.0, 0};
+    cfg.metrics = &bench.metrics();  // sched.wait_s histogram + counters
+    sched::Simulator sim(cfg);
     auto m = sim.run(jobs);
+    bench.metrics().set(std::string("sec47.") + sched::to_string(p) +
+                            ".utilization",
+                        m.utilization);
     b.row({sched::to_string(p), core::Table::num(m.mean_wait, 1),
            core::Table::num(m.max_wait, 1),
            core::Table::num(m.mean_turnaround, 1),

@@ -8,6 +8,8 @@
 #include "core/table.hpp"
 #include "stencil/wave.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -31,7 +33,7 @@ double ms_per_step(const hsim::MachineModel& mach, stencil::WaveOptions opts,
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(sec49_sw4) {
   std::printf("=== Section 4.9: sw4lite optimization ladder + SW4 vs Cori"
               " ===\n\n");
   const std::size_t n = 64;
@@ -109,5 +111,9 @@ int main() {
               " matches the paper's 10-hour Cori-II result at ~%.0fx fewer"
               " node-hours.\n",
               halo, per_node);
+
+  bench.add_machine("cori_knl_node", cori_node * 1e-3);
+  bench.add_machine("sierra_node", sierra_node * 1e-3);
+  bench.metrics().set("sec49.per_node_speedup", per_node);
   return 0;
 }

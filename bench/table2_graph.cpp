@@ -7,9 +7,11 @@
 #include "core/table.hpp"
 #include "graph/bfs.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
-int main() {
+COE_BENCH_MAIN(table2_graph) {
   std::printf("=== Table 2: historically best graph scale and GTEPs ===\n");
   std::printf("Substitution: HavoqGT runs on LLNL clusters -> real RMAT BFS"
               " (validated) + machine-era model; see DESIGN.md.\n\n");

@@ -7,6 +7,8 @@
 #include "core/table.hpp"
 #include "ml/streams.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -62,7 +64,7 @@ void run_dataset(const DatasetSpec& spec) {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(table3_streams) {
   std::printf("=== Table 3: validation accuracies, 3-stream ensembles ===\n");
   std::printf("Shape to reproduce: each single stream ~55-88%%; any fusion"
               " gains several points over the best single stream.\n\n");

@@ -10,6 +10,8 @@
 #include "core/table.hpp"
 #include "fem/fem.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -45,7 +47,7 @@ double speedup_for(std::size_t target_unknowns, std::size_t order,
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(table4_fem_speedup) {
   std::printf("=== Table 4: GPU speedup, MFEM + hypre + SUNDIALS ===\n");
   std::printf("Baseline is a single CPU thread (as in the paper); the same"
               " real kernel stream is priced on both machines.\n\n");

@@ -8,6 +8,8 @@
 #include "amr/euler.hpp"
 #include "core/table.hpp"
 
+#include "bench/bench_main.hpp"
+
 using namespace coe;
 
 namespace {
@@ -36,7 +38,7 @@ hsim::Counters run_problem(std::int64_t n, int steps) {
 
 }  // namespace
 
-int main() {
+COE_BENCH_MAIN(table5_cleverleaf) {
   std::printf("=== Table 5: CleverLeaf mini-app using SAMRAI ===\n");
   std::printf("Real 2D Euler solve on the patch hierarchy; kernel stream"
               " priced per configuration.\n\n");
@@ -83,5 +85,10 @@ int main() {
   t.print();
   std::printf("\n(Absolute seconds differ -- the bench grid is far smaller"
               " than the paper's -- the speedup columns are the result.)\n");
+
+  bench.add_machine("p9_node_full", cpu_full);
+  bench.add_machine("v100x4_full", gpu_full);
+  bench.metrics().set("table5.fullnode_speedup", cpu_full / gpu_full);
+  bench.metrics().set("table5.device_speedup", cpu_dev / gpu_dev);
   return 0;
 }

@@ -6,9 +6,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/machine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace coe::hsim {
 
@@ -80,6 +83,19 @@ class CostModel {
   }
 
   /// Predicted time for a full counter set (kernels + transfers).
+  ///
+  /// CAUTION — this is a *lower bound*, not the authoritative accounting.
+  /// It applies the roofline max over the run's AGGREGATE flop/byte
+  /// totals, while the simulated clock (ExecContext::sim_time_, shadow
+  /// pricing, reprice()) takes the max per launch:
+  ///     max(sum f_i, sum b_i) <= sum max(f_i, b_i).
+  /// The two agree exactly when every launch sits on the same side of the
+  /// machine's ridge point; any run mixing compute- and memory-bound
+  /// kernels makes this strictly optimistic. Per-launch pricing is
+  /// authoritative — prefer a shadow machine or reprice() over a trace
+  /// when per-launch information is available, and treat this as a quick
+  /// aggregate estimate (e.g. for counter sets whose launch structure was
+  /// never recorded).
   double predict(const Counters& c) const {
     const double t_flop = c.flops / machine_.flops();
     const double t_mem = c.bytes / machine_.bandwidth();
@@ -95,6 +111,20 @@ class CostModel {
  private:
   MachineModel machine_;
 };
+
+/// Re-prices a recorded kernel/transfer trace on `m`, per event — the
+/// authoritative per-launch form that CostModel::predict can only lower
+/// bound. Restricting to one timeline phase (empty = all) gives the
+/// cross-machine per-phase breakdowns of Figures 2/8 without shadowing.
+double reprice(const obs::TraceBuffer& trace, const CostModel& m,
+               std::string_view phase = {});
+
+/// Publishes a counter set into a metrics registry under dotted names
+/// ("<prefix>.flops", ".bytes", ".launches", ".transfers", ".h2d_bytes",
+/// ".d2h_bytes"). Deltas accumulate, so several contexts may publish under
+/// one prefix.
+void publish(obs::MetricsRegistry& m, const std::string& prefix,
+             const Counters& c);
 
 /// Named phase accumulator with both simulated and (optionally) measured
 /// time, used to print the per-phase breakdowns of Figures 2 and 8.

@@ -15,6 +15,7 @@
 #include "core/cost.hpp"
 #include "core/machine.hpp"
 #include "core/threadpool.hpp"
+#include "obs/trace.hpp"
 
 namespace coe::core {
 
@@ -56,12 +57,32 @@ class ExecContext {
     counters_.reset();
     sim_time_ = 0.0;
     timeline_.clear();
+    // Shadow accumulators are part of the run being reset too — leaving
+    // them would make shadow_time() report stale totals forever after.
+    for (auto& s : shadows_) s.second = 0.0;
+    if (trace_) trace_->clear();
   }
 
   hsim::Timeline& timeline() { return timeline_; }
   /// Subsequent launches/transfers accrue to this named timeline phase.
   void set_phase(std::string name) { phase_ = std::move(name); }
   const std::string& phase() const { return phase_; }
+
+  /// Opt-in per-kernel tracing: attaches a (non-owned) ring buffer that
+  /// receives one event per launch/transfer — phase, label, exact
+  /// flop/byte counts, predicted duration, backend, and the roofline
+  /// memory-/compute-bound classification against this machine's ridge.
+  /// nullptr detaches; with no buffer attached the only cost per launch
+  /// is one branch.
+  void set_trace(obs::TraceBuffer* buf) { trace_ = buf; }
+  obs::TraceBuffer* trace() const { return trace_; }
+
+  /// Subsequent launches are traced under this label; an empty label
+  /// (the default) falls back to the operation kind ("forall",
+  /// "reduce_sum", "transfer", ...). Like set_phase, it sticks until
+  /// changed.
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
 
   /// RAJA-style parallel loop over [0, n). `w` annotates per-iteration work
   /// so the machine model can price the launch.
@@ -75,7 +96,7 @@ class ExecContext {
     } else {
       for (std::size_t i = 0; i < n; ++i) body(i);
     }
-    launch_end(hsim::total(w, n));
+    launch_end(hsim::total(w, n), "forall");
   }
 
   /// Convenience overload with no work annotation (zero-cost bookkeeping
@@ -133,7 +154,7 @@ class ExecContext {
     } else {
       for (std::size_t i = 0; i < n; ++i) sum += body(i);
     }
-    launch_end(hsim::total(w, n));
+    launch_end(hsim::total(w, n), "reduce_sum");
     return sum;
   }
 
@@ -174,7 +195,7 @@ class ExecContext {
         if (v > m) m = v;
       }
     }
-    launch_end(hsim::total(w, n));
+    launch_end(hsim::total(w, n), "reduce_max");
     return m;
   }
 
@@ -190,27 +211,47 @@ class ExecContext {
   /// Records a host<->device transfer of `bytes` (h2d if `to_device`).
   void record_transfer(double bytes, bool to_device) {
     counters_.transfers += 1;
+    // The timeline gets the same delta as the global counters, so
+    // per-phase breakdowns carry transfer counts and h2d/d2h bytes
+    // instead of silently dropping them.
+    hsim::Counters delta;
+    delta.transfers = 1;
     if (to_device) {
       counters_.h2d_bytes += bytes;
+      delta.h2d_bytes = bytes;
     } else {
       counters_.d2h_bytes += bytes;
+      delta.d2h_bytes = bytes;
     }
     const double t = model_.transfer_time(bytes);
     sim_time_ += t;
-    timeline_.add(phase_, t);
+    timeline_.add(phase_, t, delta);
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = to_device ? obs::TraceEvent::Kind::TransferH2D
+                         : obs::TraceEvent::Kind::TransferD2H;
+      e.bound = obs::TraceEvent::Bound::Memory;
+      e.backend = to_string(backend_);
+      e.phase = phase_;
+      e.label = label_.empty() ? "transfer" : label_;
+      e.bytes = bytes;
+      e.t_start = sim_time_ - t;
+      e.duration = t;
+      trace_->push(std::move(e));
+    }
     for (auto& s : shadows_) s.second += s.first.transfer_time(bytes);
   }
 
   /// Charges an explicit cost (for kernels not expressible as forall).
   void record_kernel(const hsim::KernelCost& c) {
     launch_begin();
-    launch_end(c);
+    launch_end(c, "kernel");
   }
 
  private:
   void launch_begin() {}
 
-  void launch_end(const hsim::KernelCost& c) {
+  void launch_end(const hsim::KernelCost& c, const char* kind) {
     counters_.launches += 1;
     counters_.flops += c.flops;
     counters_.bytes += c.bytes;
@@ -221,7 +262,29 @@ class ExecContext {
     delta.flops = c.flops;
     delta.bytes = c.bytes;
     timeline_.add(phase_, t, delta);
+    if (trace_) {
+      obs::TraceEvent e;
+      e.kind = obs::TraceEvent::Kind::Kernel;
+      e.bound = compute_bound(c) ? obs::TraceEvent::Bound::Compute
+                                 : obs::TraceEvent::Bound::Memory;
+      e.backend = to_string(backend_);
+      e.phase = phase_;
+      e.label = label_.empty() ? kind : label_;
+      e.flops = c.flops;
+      e.bytes = c.bytes;
+      e.t_start = sim_time_ - t;
+      e.duration = t;
+      trace_->push(std::move(e));
+    }
     for (auto& s : shadows_) s.second += s.first.kernel_time(c);
+  }
+
+  /// Roofline classification against the active machine's ridge point.
+  /// Byte-free launches are compute-bound if they do any flops; pure
+  /// launch-overhead events classify as memory-bound.
+  bool compute_bound(const hsim::KernelCost& c) const {
+    if (c.bytes <= 0.0) return c.flops > 0.0;
+    return c.flops / c.bytes >= model_.machine().ridge();
   }
 
   Backend backend_;
@@ -229,8 +292,10 @@ class ExecContext {
   hsim::CostModel model_;
   hsim::Counters counters_;
   hsim::Timeline timeline_;
+  obs::TraceBuffer* trace_ = nullptr;
   double sim_time_ = 0.0;
   std::string phase_ = "main";
+  std::string label_;
 };
 
 /// Factory helpers for the machines the paper reports on.

@@ -36,6 +36,7 @@ class World {
     const auto r = static_cast<std::size_t>(rank);
     ops_[r] += 1;
     if (opts_.fault_hook && opts_.fault_hook(rank, ops_[r])) {
+      if (opts_.metrics) opts_.metrics->add("mpi.rank_failures");
       throw resil::RankFailure(
           rank, "rank " + std::to_string(rank) + " killed by fault injection");
     }
@@ -124,6 +125,7 @@ class World {
 
  private:
   [[noreturn]] void throw_peer_failure() const {
+    if (opts_.metrics) opts_.metrics->add("mpi.peer_failures");
     throw PeerFailure("rank " + std::to_string(failed_rank_) +
                       " failed; aborting collective/messaging");
   }
@@ -138,6 +140,7 @@ class World {
         lk, deadline, [&] { return aborted_ || pred(); });
     if (aborted_ && !pred()) throw_peer_failure();
     if (!ok) {
+      if (opts_.metrics) opts_.metrics->add("mpi.timeouts");
       throw CommTimeout("timeout after " +
                         std::to_string(opts_.timeout_seconds) + "s in " +
                         what);
@@ -239,6 +242,14 @@ TrafficStats run(int ranks, const RunOptions& opts,
     });
   }
   for (auto& t : threads) t.join();
+  if (opts.metrics) {
+    const auto& s = world.stats();
+    opts.metrics->add("mpi.runs");
+    opts.metrics->add("mpi.messages", static_cast<double>(s.messages));
+    opts.metrics->add("mpi.bytes", s.bytes);
+    opts.metrics->add("mpi.allreduces", static_cast<double>(s.allreduces));
+    opts.metrics->add("mpi.barriers", static_cast<double>(s.barriers));
+  }
   if (primary) std::rethrow_exception(primary);
   if (secondary) std::rethrow_exception(secondary);
   return world.stats();

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "core/machine.hpp"
+#include "obs/metrics.hpp"
 #include "resil/fault.hpp"
 
 namespace coe::mpi {
@@ -63,6 +64,11 @@ struct RunOptions {
   /// resil::RankFailure inside that rank. Called concurrently from all
   /// rank threads — must be thread-safe (see resil::make_rank_fault_hook).
   std::function<bool(int, std::size_t)> fault_hook;
+  /// Optional telemetry sink (not owned; must outlive run()). Publishes
+  /// "mpi.messages"/".bytes"/".allreduces"/".barriers" when the world
+  /// finishes, and "mpi.timeouts"/".rank_failures"/".peer_failures" as
+  /// they occur.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class World;

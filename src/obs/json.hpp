@@ -1,0 +1,80 @@
+#pragma once
+// Minimal JSON value, writer, and parser for coe::obs. The observability
+// layer emits machine-readable artifacts (Chrome traces, metrics dumps,
+// BENCH_*.json reports); this gives the repo one dependency-free way to
+// write them, and — just as important — to read them back, so tests and
+// the CI schema validator can verify round trips instead of trusting the
+// emitters.
+
+#include <cstddef>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace coe::obs {
+
+/// Raised by Json::parse on malformed input, and by the typed accessors on
+/// a type mismatch.
+struct JsonError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One JSON value (null, bool, number, string, array, or object). Numbers
+/// are doubles, like JavaScript; object keys are kept sorted (std::map) so
+/// dumps are deterministic.
+class Json {
+ public:
+  enum class Type { Null, Bool, Number, String, Array, Object };
+
+  Json() = default;
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Parses one complete JSON document (throws JsonError on trailing
+  /// garbage, bad escapes, unterminated containers, non-finite numbers).
+  static Json parse(std::string_view text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::Null; }
+  bool is_number() const { return type_ == Type::Number; }
+  bool is_string() const { return type_ == Type::String; }
+  bool is_array() const { return type_ == Type::Array; }
+  bool is_object() const { return type_ == Type::Object; }
+
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& items() const;
+  const std::map<std::string, Json>& fields() const;
+
+  /// Object lookup; throws JsonError when absent or not an object.
+  const Json& at(const std::string& key) const;
+  /// Array element; throws JsonError when out of range or not an array.
+  const Json& at(std::size_t i) const;
+  bool contains(const std::string& key) const;
+
+  /// Mutators (for building documents programmatically).
+  Json& set(const std::string& key, Json v);
+  Json& push(Json v);
+
+  /// Serializes back to compact JSON text.
+  std::string dump() const;
+
+  /// Escapes a raw string for embedding between double quotes.
+  static std::string escape(std::string_view raw);
+
+ private:
+  Type type_ = Type::Null;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Json> arr_;
+  std::map<std::string, Json> obj_;
+};
+
+}  // namespace coe::obs

@@ -1,0 +1,8 @@
+#pragma once
+// coe::obs — the observability layer: per-kernel tracing, Chrome
+// trace_event export, metrics registry, and the JSON substrate the bench
+// harness emits machine-readable results through (DESIGN.md §10).
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

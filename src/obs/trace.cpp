@@ -1,0 +1,56 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace coe::obs {
+
+const char* to_string(TraceEvent::Kind k) {
+  switch (k) {
+    case TraceEvent::Kind::Kernel: return "kernel";
+    case TraceEvent::Kind::TransferH2D: return "h2d";
+    case TraceEvent::Kind::TransferD2H: return "d2h";
+  }
+  return "?";
+}
+
+const char* to_string(TraceEvent::Bound b) {
+  switch (b) {
+    case TraceEvent::Bound::Compute: return "compute";
+    case TraceEvent::Bound::Memory: return "memory";
+  }
+  return "?";
+}
+
+void write_chrome_trace(std::ostream& os, const TraceBuffer& buf) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : buf.snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events on one row per kind; kernels on tid 0,
+    // transfers on tid 1 so overlap reads clearly in the viewer.
+    const int tid = e.kind == TraceEvent::Kind::Kernel ? 0 : 1;
+    os << "{\"name\":\"" << Json::escape(e.label) << "\",\"cat\":\""
+       << Json::escape(e.phase) << "\",\"ph\":\"X\",\"ts\":"
+       << Json::number(e.t_start * 1e6).dump()
+       << ",\"dur\":" << Json::number(e.duration * 1e6).dump()
+       << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"kind\":\""
+       << to_string(e.kind) << "\",\"bound\":\"" << to_string(e.bound)
+       << "\",\"backend\":\"" << Json::escape(e.backend)
+       << "\",\"flops\":" << Json::number(e.flops).dump()
+       << ",\"bytes\":" << Json::number(e.bytes).dump() << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
+     << buf.dropped() << "}}";
+}
+
+std::string chrome_trace_json(const TraceBuffer& buf) {
+  std::ostringstream os;
+  write_chrome_trace(os, buf);
+  return os.str();
+}
+
+}  // namespace coe::obs

@@ -1,0 +1,97 @@
+#pragma once
+// Per-kernel trace ring buffer — the NVProf-substitute timeline the paper's
+// figures are built from. An ExecContext with tracing enabled appends one
+// TraceEvent per kernel launch and per host<->device transfer: the phase it
+// accrued to, a label, exact flop/byte counts, the predicted duration, the
+// backend, and the roofline classification (memory- vs compute-bound
+// against the active machine's ridge point). Tracing is opt-in: a context
+// without an attached buffer pays one branch per launch and nothing else.
+//
+// The buffer is a fixed-capacity ring so a long run cannot exhaust memory;
+// when it wraps, the oldest events are dropped and counted.
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace coe::obs {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t { Kernel, TransferH2D, TransferD2H };
+  /// Roofline classification against the machine the event was priced on.
+  enum class Bound : std::uint8_t { Compute, Memory };
+
+  Kind kind = Kind::Kernel;
+  Bound bound = Bound::Memory;
+  const char* backend = "";  ///< static string ("seq"/"threads"/"device")
+  std::string phase;         ///< timeline phase the event accrued to
+  std::string label;         ///< kernel label (op kind when unlabeled)
+  double flops = 0.0;
+  double bytes = 0.0;        ///< kernel bytes moved, or transfer payload
+  double t_start = 0.0;      ///< simulated seconds at event start
+  double duration = 0.0;     ///< predicted seconds
+
+  double end() const { return t_start + duration; }
+};
+
+const char* to_string(TraceEvent::Kind k);
+const char* to_string(TraceEvent::Bound b);
+
+/// Fixed-capacity ring of TraceEvents. Oldest events are overwritten once
+/// full; `dropped()` counts them so truncation is never silent.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16)
+      : capacity_(capacity ? capacity : 1) {}
+
+  void push(TraceEvent e) {
+    if (ring_.size() < capacity_) {
+      ring_.push_back(std::move(e));
+    } else {
+      ring_[head_] = std::move(e);
+      head_ = (head_ + 1) % capacity_;
+      ++dropped_;
+    }
+  }
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return ring_.empty(); }
+  /// Events overwritten after the ring wrapped.
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Retained events in chronological order (oldest first).
+  std::vector<TraceEvent> snapshot() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(head_ + i) % ring_.size()]);
+    }
+    return out;
+  }
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;  ///< index of the oldest event once full
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;
+};
+
+/// Writes the buffer as a Chrome trace_event JSON document (the
+/// `about:tracing` / Perfetto "JSON Array Format" with a `traceEvents`
+/// object wrapper). Simulated seconds map to microseconds of trace time;
+/// flops/bytes/backend/bound ride along in each event's `args`.
+void write_chrome_trace(std::ostream& os, const TraceBuffer& buf);
+
+/// Same, as a string.
+std::string chrome_trace_json(const TraceBuffer& buf);
+
+}  // namespace coe::obs

@@ -75,6 +75,17 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
 
   rep.completed = s >= steps;
   rep.total_time = elapsed();
+  if (cfg.metrics) {
+    cfg.metrics->add("resil.faults", static_cast<double>(rep.faults));
+    cfg.metrics->add("resil.checkpoints",
+                     static_cast<double>(rep.checkpoints));
+    cfg.metrics->add("resil.checkpoint_bytes",
+                     static_cast<double>(rep.checkpoints) * app.state_bytes());
+    cfg.metrics->add("resil.steps_replayed",
+                     static_cast<double>(rep.steps_replayed));
+    cfg.metrics->add("resil.wasted_s", rep.wasted_time);
+    cfg.metrics->add("resil.checkpoint_s", rep.checkpoint_time);
+  }
   return rep;
 }
 

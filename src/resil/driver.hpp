@@ -12,6 +12,7 @@
 #include <functional>
 
 #include "core/exec.hpp"
+#include "obs/metrics.hpp"
 #include "resil/checkpoint.hpp"
 #include "resil/fault.hpp"
 
@@ -22,6 +23,11 @@ struct ResilienceConfig {
   double checkpoint_interval = 0.0;  ///< simulated s (<=0: Young/Daly)
   std::uint64_t seed = 1;
   std::size_t max_faults = 100000;   ///< abort the run past this many
+  /// Optional telemetry sink (not owned; must outlive run_resilient()).
+  /// Publishes "resil.faults"/".checkpoints"/".checkpoint_bytes"/
+  /// ".steps_replayed" counters and "resil.wasted_s"/".checkpoint_s"
+  /// accumulators when the run finishes.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ResilienceReport {

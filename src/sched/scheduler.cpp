@@ -158,6 +158,7 @@ ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
       const double wait = r.start - j.submit_time;
       total_wait += wait;
       max_wait = std::max(max_wait, wait);
+      if (cfg_.metrics) cfg_.metrics->observe("sched.wait_s", wait);
       total_turnaround += r.finish - j.submit_time;
       ++m.completed;
     } else if (t_rep <= t_fail) {
@@ -214,6 +215,16 @@ ScheduleMetrics Simulator::run(std::vector<Job> jobs) {
           ? busy_gpu_time / (static_cast<double>(cfg_.num_gpus) * m.makespan)
           : 0.0;
   m.throughput = m.makespan > 0.0 ? n / m.makespan : 0.0;
+  if (cfg_.metrics) {
+    cfg_.metrics->add("sched.jobs", n);
+    cfg_.metrics->add("sched.completed", static_cast<double>(m.completed));
+    cfg_.metrics->add("sched.gpu_failures",
+                      static_cast<double>(m.gpu_failures));
+    cfg_.metrics->add("sched.requeues", static_cast<double>(m.requeues));
+    cfg_.metrics->add("sched.lost_gpu_time", m.lost_gpu_time);
+    cfg_.metrics->set("sched.makespan", m.makespan);
+    cfg_.metrics->set("sched.utilization", m.utilization);
+  }
   return m;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace coe::sched {
 
@@ -53,6 +54,11 @@ struct SchedulerConfig {
   /// Downtime before a failed GPU rejoins the pool (0 = instant repair).
   double gpu_repair_time = 0.0;
   std::uint64_t fault_seed = 99;
+  /// Optional telemetry sink (not owned; must outlive run()). Publishes
+  /// "sched.jobs"/".completed"/".gpu_failures"/".requeues"/
+  /// ".lost_gpu_time" counters, "sched.makespan"/".utilization" gauges,
+  /// and a "sched.wait_s" histogram (one observation per completed job).
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ScheduleMetrics {

@@ -1,0 +1,171 @@
+// Validates BENCH_*.json artifacts against the coe-bench-v1 schema
+// (DESIGN.md section 10.3). Usage:
+//
+//   validate_bench_json BENCH_a.json [BENCH_b.json ...]
+//
+// Checks every file and reports per-file PASS/FAIL; exits nonzero if any
+// file fails. When a report references a trace file that exists next to
+// it, the trace is parsed and checked for a traceEvents array too.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using coe::obs::Json;
+
+std::vector<std::string> g_errors;
+
+void fail(const std::string& what) { g_errors.push_back(what); }
+
+void check_number(const Json& o, const char* key, bool non_negative = true) {
+  if (!o.contains(key)) return fail(std::string("missing \"") + key + "\"");
+  const Json& v = o.at(key);
+  if (v.type() != Json::Type::Number) {
+    return fail(std::string("\"") + key + "\" is not a number");
+  }
+  if (non_negative && v.as_number() < 0.0) {
+    fail(std::string("\"") + key + "\" is negative");
+  }
+}
+
+void check_metrics_section(const Json& metrics, const char* key) {
+  if (!metrics.contains(key)) {
+    return fail(std::string("metrics missing \"") + key + "\"");
+  }
+  if (metrics.at(key).type() != Json::Type::Object) {
+    fail(std::string("metrics.") + key + " is not an object");
+  }
+}
+
+void check_machine(const Json& m, std::size_t i) {
+  const std::string where = "machines[" + std::to_string(i) + "]";
+  if (m.type() != Json::Type::Object) return fail(where + " is not an object");
+  if (!m.contains("name") || m.at("name").type() != Json::Type::String ||
+      m.at("name").as_string().empty()) {
+    fail(where + " has no name");
+  }
+  check_number(m, "sim_seconds");
+  if (!m.contains("counters")) return fail(where + " missing counters");
+  const Json& c = m.at("counters");
+  if (c.type() == Json::Type::Null) return;
+  if (c.type() != Json::Type::Object) {
+    return fail(where + ".counters is neither null nor an object");
+  }
+  for (const char* key : {"flops", "bytes", "launches", "transfers",
+                          "h2d_bytes", "d2h_bytes"}) {
+    if (!c.contains(key)) fail(where + ".counters missing " + key);
+  }
+}
+
+void check_trace_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return fail("trace file " + path + " not readable");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  Json t;
+  try {
+    t = Json::parse(ss.str());
+  } catch (const std::exception& e) {
+    return fail("trace file " + path + ": " + e.what());
+  }
+  if (!t.contains("traceEvents") ||
+      t.at("traceEvents").type() != Json::Type::Array) {
+    return fail("trace file " + path + " has no traceEvents array");
+  }
+  for (const Json& e : t.at("traceEvents").items()) {
+    if (e.type() != Json::Type::Object || !e.contains("ts") ||
+        !e.contains("dur") || !e.contains("name")) {
+      return fail("trace file " + path + " has a malformed event");
+    }
+  }
+}
+
+bool validate(const std::string& path) {
+  g_errors.clear();
+  std::ifstream f(path);
+  if (!f) {
+    std::printf("FAIL %s: unreadable\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  Json root;
+  try {
+    root = Json::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::printf("FAIL %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+
+  if (!root.contains("schema") ||
+      root.at("schema").type() != Json::Type::String ||
+      root.at("schema").as_string() != "coe-bench-v1") {
+    fail("schema is not \"coe-bench-v1\"");
+  }
+  if (!root.contains("name") ||
+      root.at("name").type() != Json::Type::String ||
+      root.at("name").as_string().empty()) {
+    fail("missing bench name");
+  }
+  check_number(root, "wall_seconds");
+
+  if (!root.contains("machines") ||
+      root.at("machines").type() != Json::Type::Array) {
+    fail("missing machines array");
+  } else {
+    const auto& machines = root.at("machines").items();
+    for (std::size_t i = 0; i < machines.size(); ++i) {
+      check_machine(machines[i], i);
+    }
+  }
+
+  if (!root.contains("metrics") ||
+      root.at("metrics").type() != Json::Type::Object) {
+    fail("missing metrics object");
+  } else {
+    const Json& metrics = root.at("metrics");
+    check_metrics_section(metrics, "counters");
+    check_metrics_section(metrics, "gauges");
+    check_metrics_section(metrics, "histograms");
+  }
+
+  if (!root.contains("trace")) {
+    fail("missing trace field (null or object)");
+  } else if (root.at("trace").type() == Json::Type::Object) {
+    const Json& t = root.at("trace");
+    check_number(t, "events");
+    check_number(t, "dropped");
+    if (!t.contains("path") || t.at("path").type() != Json::Type::String) {
+      fail("trace.path missing");
+    } else {
+      check_trace_file(t.at("path").as_string());
+    }
+  } else if (root.at("trace").type() != Json::Type::Null) {
+    fail("trace is neither null nor an object");
+  }
+
+  if (g_errors.empty()) {
+    std::printf("PASS %s\n", path.c_str());
+    return true;
+  }
+  std::printf("FAIL %s:\n", path.c_str());
+  for (const auto& e : g_errors) std::printf("  - %s\n", e.c_str());
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_*.json\n", argv[0]);
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = validate(argv[i]) && ok;
+  return ok ? 0 : 1;
+}
