@@ -6,16 +6,20 @@
 // core.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "amg/amg.hpp"
 #include "beamline/fft.hpp"
 #include "bench/bench_main.hpp"
 #include "core/exec.hpp"
 #include "core/rng.hpp"
+#include "core/table.hpp"
 #include "dyn/paradyn.hpp"
 #include "fem/fem.hpp"
 #include "la/la.hpp"
 #include "md/md.hpp"
 #include "reaction/membrane.hpp"
+#include "reaction/monodomain.hpp"
 
 using namespace coe;
 
@@ -176,6 +180,115 @@ void BM_ForallTracing(benchmark::State& state) {
 }
 BENCHMARK(BM_ForallTracing)->Arg(0)->Arg(1);
 
+void BM_Forall3(benchmark::State& state) {
+  // Host cost of the 3D index recovery: forall3 hoists the div/mod out of
+  // the inner loop (increment-with-carry), so the per-iteration work is
+  // the body plus two adds and a compare.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> v(n * n * n, 1.0);
+  auto ctx = core::make_seq();
+  for (auto _ : state) {
+    ctx.forall3(n, n, n, {1.0, 16.0},
+                [&](std::size_t i, std::size_t j, std::size_t k) {
+                  v[(i * n + j) * n + k] += 1.0;
+                });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(v.size()));
+}
+BENCHMARK(BM_Forall3)->Arg(32)->Arg(64)->Arg(96);
+
+void BM_CgFused(benchmark::State& state) {
+  // Real-host cost of the fused CG iteration (Arg 1) vs the five separate
+  // BLAS-1 sweeps (Arg 0); the answer is bitwise identical either way.
+  const auto n = static_cast<std::size_t>(state.range(1));
+  auto a = la::poisson2d(n, n);
+  la::CsrOperator op(a);
+  la::JacobiPreconditioner jacobi(a);
+  std::vector<double> b(a.rows(), 1.0), x(a.rows());
+  auto ctx = core::make_seq();
+  la::SolveOptions opts;
+  opts.fused = state.range(0) != 0;
+  opts.max_iters = 50;
+  opts.rel_tol = 0.0;  // fixed iteration count for a stable comparison
+  for (auto _ : state) {
+    std::fill(x.begin(), x.end(), 0.0);
+    auto res = la::cg(ctx, op, jacobi, b, x, opts);
+    benchmark::DoNotOptimize(res.iterations);
+  }
+}
+BENCHMARK(BM_CgFused)->Args({0, 128})->Args({1, 128});
+
+}  // namespace
+
+namespace {
+
+/// Simulated-cost half of the fusion ablation: launch counts and modeled
+/// time on a V100 for the fused vs unfused CG iteration and Cardioid
+/// reaction step. Fusion must strictly reduce both, with the solution
+/// unchanged; the table goes to stdout and the metrics to the JSON.
+void fusion_ablation(coe::bench::Harness& bench) {
+  std::printf("\n=== fusion ablation (simulated V100) ===\n\n");
+  core::Table t({"hot path", "launches", "sim ms", "fused gain"});
+
+  double cg_launches[2], cg_ms[2], cg_xnorm[2];
+  for (int fused = 0; fused < 2; ++fused) {
+    auto ctx = core::make_device(hsim::machines::v100());
+    auto a = la::poisson2d(96, 96);
+    la::CsrOperator op(a);
+    la::JacobiPreconditioner jacobi(a);
+    std::vector<double> b(a.rows(), 1.0), x(a.rows());
+    la::SolveOptions opts;
+    opts.fused = fused != 0;
+    opts.max_iters = 100;
+    opts.rel_tol = 0.0;
+    la::cg(ctx, op, jacobi, b, x, opts);
+    cg_launches[fused] = static_cast<double>(ctx.counters().launches);
+    cg_ms[fused] = ctx.simulated_time() * 1e3;
+    cg_xnorm[fused] = la::norm2(ctx, x);
+  }
+  t.row({"CG iteration (unfused)", core::Table::num(cg_launches[0], 0),
+         core::Table::num(cg_ms[0], 3), "1.00x"});
+  t.row({"CG iteration (fused)", core::Table::num(cg_launches[1], 0),
+         core::Table::num(cg_ms[1], 3),
+         core::Table::num(cg_ms[0] / cg_ms[1], 2) + "x"});
+
+  double rx_launches[2], rx_ms[2], rx_v[2];
+  for (int fused = 0; fused < 2; ++fused) {
+    auto dev = core::make_device(hsim::machines::v100());
+    auto host = core::make_seq();
+    reaction::TissueConfig cfg;
+    cfg.nx = 128;
+    cfg.ny = 128;
+    cfg.rates = reaction::RateKind::Rational;
+    cfg.fuse_reaction = fused != 0;
+    reaction::Monodomain tissue(dev, host, cfg);
+    tissue.stimulate(0, 16, 0, 16, 100.0, 1.0);
+    tissue.run(5.0);
+    rx_launches[fused] = static_cast<double>(dev.counters().launches);
+    rx_ms[fused] = dev.simulated_time() * 1e3;
+    rx_v[fused] = tissue.max_voltage();
+  }
+  t.row({"Cardioid step (unfused)", core::Table::num(rx_launches[0], 0),
+         core::Table::num(rx_ms[0], 3), "1.00x"});
+  t.row({"Cardioid step (fused)", core::Table::num(rx_launches[1], 0),
+         core::Table::num(rx_ms[1], 3),
+         core::Table::num(rx_ms[0] / rx_ms[1], 2) + "x"});
+  t.print();
+  std::printf("\nCG solutions identical: %s; tissue voltages identical:"
+              " %s\n",
+              cg_xnorm[0] == cg_xnorm[1] ? "yes" : "NO",
+              rx_v[0] == rx_v[1] ? "yes" : "NO");
+
+  bench.metrics().set("fusion.cg.unfused_launches", cg_launches[0]);
+  bench.metrics().set("fusion.cg.fused_launches", cg_launches[1]);
+  bench.metrics().set("fusion.cg.speedup", cg_ms[0] / cg_ms[1]);
+  bench.metrics().set("fusion.reaction.unfused_launches", rx_launches[0]);
+  bench.metrics().set("fusion.reaction.fused_launches", rx_launches[1]);
+  bench.metrics().set("fusion.reaction.speedup", rx_ms[0] / rx_ms[1]);
+}
+
 }  // namespace
 
 COE_BENCH_MAIN(microbench_kernels) {
@@ -204,5 +317,6 @@ COE_BENCH_MAIN(microbench_kernels) {
   benchmark::Initialize(&argc, bench.argv());
   Reporter reporter(bench.metrics());
   benchmark::RunSpecifiedBenchmarks(&reporter);
+  fusion_ablation(bench);
   return 0;
 }

@@ -68,6 +68,7 @@ MachineModel p100() {
   m.flop_efficiency = 0.55;
   m.bw_efficiency = 0.75;
   m.launch_overhead = 8e-6;
+  m.concurrent_kernels = 4;
   m.mem_capacity = 16ull << 30;
   m.link_bw = 40e9;  // NVLink1 x2 bricks per GPU on Minsky
   m.link_latency = 8e-6;
@@ -83,6 +84,7 @@ MachineModel v100() {
   m.flop_efficiency = 0.60;  // improved caching vs Pascal (Section 4.7)
   m.bw_efficiency = 0.80;
   m.launch_overhead = 6e-6;
+  m.concurrent_kernels = 8;  // Volta HW queues; plenty for our stream counts
   m.mem_capacity = 16ull << 30;
   m.link_bw = 75e9;  // NVLink2 x3 bricks per GPU on Witherspoon
   m.link_latency = 6e-6;
@@ -98,6 +100,7 @@ MachineModel k40() {
   m.flop_efficiency = 0.45;
   m.bw_efficiency = 0.65;
   m.launch_overhead = 12e-6;
+  m.concurrent_kernels = 2;
   m.mem_capacity = 12ull << 30;
   m.link_bw = 12e9;  // PCIe gen3 x16
   m.link_latency = 15e-6;

@@ -32,6 +32,12 @@ struct MachineModel {
   double launch_overhead = 0.0; ///< s per kernel launch (GPU only)
   double mem_capacity = 1ull << 37; ///< bytes of directly attached memory
 
+  /// Kernels from different streams that can execute concurrently (the
+  /// CUDA concurrent-kernel limit; hardware queues on real GPUs). 1 means
+  /// kernels serialize even across streams; transfers always overlap
+  /// kernels because the DMA copy engines are separate resources.
+  int concurrent_kernels = 1;
+
   // Host link (PCIe / NVLink). For CPUs this is a no-op link.
   double link_bw = 1e10;       ///< B/s host<->device
   double link_latency = 1e-5;  ///< s per transfer

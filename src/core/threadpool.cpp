@@ -1,5 +1,7 @@
 #include "core/threadpool.hpp"
 
+#include <algorithm>
+
 namespace coe::core {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -21,31 +23,38 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::parallel_for(
-    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+void ThreadPool::drain(const Job& job) {
+  for (;;) {
+    const std::size_t c = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) return;
+    const std::size_t lo = job.n * c / job.chunks;
+    const std::size_t hi = job.n * (c + 1) / job.chunks;
+    job.fn(lo, hi);
+  }
+}
+
+void ThreadPool::run(std::size_t n, FnRef fn) {
   if (n == 0) return;
-  const std::size_t chunks = std::min(n, size());
-  auto chunk_range = [n, chunks](std::size_t c) {
-    const std::size_t lo = n * c / chunks;
-    const std::size_t hi = n * (c + 1) / chunks;
-    return std::pair<std::size_t, std::size_t>(lo, hi);
-  };
+  const std::size_t chunks = chunk_count(n);
 
   if (chunks == 1 || workers_.empty()) {
     fn(0, n);
     return;
   }
 
+  // Waking every worker for a handful of chunks costs more than it saves;
+  // only ids 1..participants take part, the rest skip this generation.
+  const std::size_t participants = std::min(workers_.size(), chunks - 1);
   {
     std::lock_guard<std::mutex> lk(mtx_);
-    job_ = Job{&fn, n, chunks};
-    pending_ = chunks - 1;  // workers handle chunks 1..chunks-1
+    job_ = Job{fn, n, chunks, participants};
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_ = participants;
     ++generation_;
   }
   cv_start_.notify_all();
 
-  auto [lo, hi] = chunk_range(0);
-  fn(lo, hi);
+  drain(job_);
 
   std::unique_lock<std::mutex> lk(mtx_);
   cv_done_.wait(lk, [this] { return pending_ == 0; });
@@ -62,10 +71,8 @@ void ThreadPool::worker_loop(std::size_t id) {
       if (stop_) return;
       job = job_;
     }
-    if (job.fn != nullptr && id < job.chunks) {
-      const std::size_t lo = job.n * id / job.chunks;
-      const std::size_t hi = job.n * (id + 1) / job.chunks;
-      (*job.fn)(lo, hi);
+    if (job.fn.call != nullptr && id <= job.participants) {
+      drain(job);
       std::lock_guard<std::mutex> lk(mtx_);
       if (--pending_ == 0) cv_done_.notify_all();
     }

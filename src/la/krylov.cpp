@@ -36,22 +36,53 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
     return res;
   }
 
+  // Fused iterations need an elementwise preconditioner to fold the apply
+  // into the r.z kernel; anything else falls back to apply() + dot.
+  const std::span<const double> md = m.diag();
+
   for (std::size_t it = 1; it <= opts.max_iters; ++it) {
     a.apply(ctx, p, ap);
     const double pap = dot(ctx, p, ap);
     if (pap == 0.0) break;
     const double alpha = rz / pap;
-    axpy(ctx, alpha, p, x);
-    axpy(ctx, -alpha, ap, r);
-    const double rnorm = norm2(ctx, r);
+    double rnorm;
+    if (opts.fused) {
+      // x += alpha p, r -= alpha ap, and the r.r reduction share one
+      // launch; r's store+reload between the update and the reduction
+      // stays in registers (one 8-byte elision per element).
+      const double rr =
+          ctx.fused(n)
+              .then({2.0, 24.0},
+                    [&](std::size_t i) { x[i] += alpha * p[i]; })
+              .then({2.0, 24.0},
+                    [&](std::size_t i) { r[i] -= alpha * ap[i]; })
+              .elide(8.0)
+              .reduce_sum({2.0, 16.0},
+                          [&](std::size_t i) { return r[i] * r[i]; });
+      rnorm = std::sqrt(rr);
+    } else {
+      axpy(ctx, alpha, p, x);
+      axpy(ctx, -alpha, ap, r);
+      rnorm = norm2(ctx, r);
+    }
     res.iterations = it;
     res.final_residual = rnorm;
     if (done(opts, rnorm, r0)) {
       res.converged = true;
       return res;
     }
-    m.apply(ctx, r, z);
-    const double rz_new = dot(ctx, r, z);
+    double rz_new;
+    if (opts.fused && !md.empty()) {
+      rz_new = ctx.fused(n)
+                   .then({1.0, 24.0},
+                         [&](std::size_t i) { z[i] = r[i] / md[i]; })
+                   .elide(8.0)
+                   .reduce_sum({2.0, 16.0},
+                               [&](std::size_t i) { return r[i] * z[i]; });
+    } else {
+      m.apply(ctx, r, z);
+      rz_new = dot(ctx, r, z);
+    }
     const double beta = rz_new / rz;
     rz = rz_new;
     xpby(ctx, z, beta, p);

@@ -15,6 +15,13 @@ struct SolveOptions {
   std::size_t max_iters = 1000;
   double rel_tol = 1e-8;
   double abs_tol = 0.0;
+  /// CG only: fuse the iteration's vector kernels (both axpy updates plus
+  /// the residual reduction into one launch; the elementwise-preconditioner
+  /// apply plus the r.z reduction into another), so the five BLAS-1
+  /// launches per iteration become two. Pure launch-structure/pricing
+  /// change — the arithmetic per element is unchanged, so results are
+  /// bitwise identical to the unfused path on deterministic backends.
+  bool fused = false;
 };
 
 struct SolveResult {
@@ -66,6 +73,7 @@ class JacobiPreconditioner final : public Preconditioner {
     ctx.forall(r.size(), {1.0, 24.0},
                [&](std::size_t i) { z[i] = r[i] / d[i]; });
   }
+  std::span<const double> diag() const override { return diag_; }
 
  private:
   std::vector<double> diag_;

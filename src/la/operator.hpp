@@ -27,6 +27,11 @@ class Preconditioner {
   virtual ~Preconditioner() = default;
   virtual void apply(core::ExecContext& ctx, std::span<const double> r,
                      std::span<double> z) const = 0;
+
+  /// Elementwise preconditioners (Jacobi) expose their diagonal so solvers
+  /// can fuse z[i] = r[i]/d[i] into adjacent vector kernels. Empty means
+  /// "not elementwise"; callers must then go through apply().
+  virtual std::span<const double> diag() const { return {}; }
 };
 
 class IdentityPreconditioner final : public Preconditioner {

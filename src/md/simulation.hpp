@@ -85,22 +85,34 @@ class Simulation : public resil::Checkpointable {
     const double dt = cfg_.dt;
     auto& integ = integration_ctx();
     // Half kick, snapshot (SHAKE reference), then drift -- fused into one
-    // kernel as ddcMD does.
-    integ.record_kernel({9.0 * double(p_.n), 96.0 * double(p_.n)});
-    for (std::size_t i = 0; i < p_.n; ++i) {
-      const double inv_m = 1.0 / p_.mass[i];
-      p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
-      p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
-      p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
-    }
-    xprev_ = p_.x;
-    yprev_ = p_.y;
-    zprev_ = p_.z;
-    for (std::size_t i = 0; i < p_.n; ++i) {
-      p_.x[i] = box_.fold(p_.x[i] + dt * p_.vx[i]);
-      p_.y[i] = box_.fold(p_.y[i] + dt * p_.vy[i]);
-      p_.z[i] = box_.fold(p_.z[i] + dt * p_.vz[i]);
-    }
+    // kernel as ddcMD does, expressed through the fusion API. Stage
+    // workloads sum to the {9, 96}-per-particle kernel charged before,
+    // and each stage touches only particle i, so the per-particle
+    // interleaving leaves the trajectory bitwise unchanged.
+    xprev_.resize(p_.n);
+    yprev_.resize(p_.n);
+    zprev_.resize(p_.n);
+    integ.fused(p_.n)
+        .then({3.0, 36.0},
+              [&](std::size_t i) {
+                const double inv_m = 1.0 / p_.mass[i];
+                p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
+                p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
+                p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
+              })
+        .then({0.0, 24.0},
+              [&](std::size_t i) {
+                xprev_[i] = p_.x[i];
+                yprev_[i] = p_.y[i];
+                zprev_[i] = p_.z[i];
+              })
+        .then({6.0, 36.0},
+              [&](std::size_t i) {
+                p_.x[i] = box_.fold(p_.x[i] + dt * p_.vx[i]);
+                p_.y[i] = box_.fold(p_.y[i] + dt * p_.vy[i]);
+                p_.z[i] = box_.fold(p_.z[i] + dt * p_.vz[i]);
+              })
+        .launch();
 
     StepInfo info;
     if (!constraints_.empty()) info.shake_iters = shake(dt);
@@ -108,14 +120,13 @@ class Simulation : public resil::Checkpointable {
     if (nl_.needs_rebuild(p_, box_)) nl_.build(*device_, p_, box_);
     info = compute_forces(info);
 
-    // Second half kick.
-    integ.record_kernel({6.0 * double(p_.n), 96.0 * double(p_.n)});
-    for (std::size_t i = 0; i < p_.n; ++i) {
+    // Second half kick (same pricing as the record_kernel it replaces).
+    integ.forall(p_.n, {6.0, 96.0}, [&](std::size_t i) {
       const double inv_m = 1.0 / p_.mass[i];
       p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
       p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
       p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
-    }
+    });
 
     if (cfg_.thermostat == Thermostat::Langevin) apply_langevin(dt);
     if (cfg_.barostat == Barostat::Berendsen) {

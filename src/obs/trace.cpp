@@ -30,9 +30,9 @@ void write_chrome_trace(std::ostream& os, const TraceBuffer& buf) {
   for (const auto& e : buf.snapshot()) {
     if (!first) os << ",";
     first = false;
-    // Complete ("X") events on one row per kind; kernels on tid 0,
-    // transfers on tid 1 so overlap reads clearly in the viewer.
-    const int tid = e.kind == TraceEvent::Kind::Kernel ? 0 : 1;
+    // Complete ("X") events, one viewer row per simulated stream so
+    // cross-stream overlap reads directly in the timeline.
+    const int tid = e.stream;
     os << "{\"name\":\"" << Json::escape(e.label) << "\",\"cat\":\""
        << Json::escape(e.phase) << "\",\"ph\":\"X\",\"ts\":"
        << Json::number(e.t_start * 1e6).dump()
@@ -41,7 +41,8 @@ void write_chrome_trace(std::ostream& os, const TraceBuffer& buf) {
        << to_string(e.kind) << "\",\"bound\":\"" << to_string(e.bound)
        << "\",\"backend\":\"" << Json::escape(e.backend)
        << "\",\"flops\":" << Json::number(e.flops).dump()
-       << ",\"bytes\":" << Json::number(e.bytes).dump() << "}}";
+       << ",\"bytes\":" << Json::number(e.bytes).dump()
+       << ",\"stream\":" << e.stream << "}}";
   }
   os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
      << buf.dropped() << "}}";

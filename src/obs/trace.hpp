@@ -32,6 +32,7 @@ struct TraceEvent {
   double bytes = 0.0;        ///< kernel bytes moved, or transfer payload
   double t_start = 0.0;      ///< simulated seconds at event start
   double duration = 0.0;     ///< predicted seconds
+  int stream = 0;            ///< simulated stream the event was issued on
 
   double end() const { return t_start + duration; }
 };

@@ -93,41 +93,44 @@ double MembraneKernel::ionic_current(const CellState& s) const {
   return ina + ik + il;
 }
 
+void MembraneKernel::update_cell(CellState& s, double dt, double stim,
+                                 bool stim_on) const {
+  if (kind_ == RateKind::Rational) {
+    // exp-free path: ~170 flops of pure multiply-add per cell.
+    const Fits& f = *fits_;
+    s.m = f.a[0](s.v) + f.b[0](s.v) * s.m;
+    s.h = f.a[1](s.v) + f.b[1](s.v) * s.h;
+    s.n = f.a[2](s.v) + f.b[2](s.v) * s.n;
+    double current = -ionic_current(s);
+    if (stim_on) current += stim;
+    s.v += dt * current;
+    return;
+  }
+  // libm path: 9 exp evaluations per cell (~300 flops equivalent).
+  const double a[3] = {rates::alpha_m(s.v), rates::alpha_h(s.v),
+                       rates::alpha_n(s.v)};
+  const double b[3] = {rates::beta_m(s.v), rates::beta_h(s.v),
+                       rates::beta_n(s.v)};
+  double* gates[3] = {&s.m, &s.h, &s.n};
+  for (int g = 0; g < 3; ++g) {
+    const double tau = 1.0 / (a[g] + b[g]);
+    const double inf = a[g] * tau;
+    *gates[g] = inf + (*gates[g] - inf) * std::exp(-dt / tau);
+  }
+  double current = -ionic_current(s);
+  if (stim_on) current += stim;
+  s.v += dt * current;  // Cm = 1 uF/cm^2
+}
+
 void MembraneKernel::step(core::ExecContext& ctx, std::span<CellState> cells,
                           double dt, double stim, std::size_t stim_begin,
                           std::size_t stim_end) const {
   if (kind_ == RateKind::Rational) {
     assert(std::abs(dt - baked_dt_) < 1e-12 &&
            "Rational kernel is specialized for its baked dt");
-    // exp-free path: ~170 flops of pure multiply-add per cell.
-    const Fits& f = *fits_;
-    ctx.forall(cells.size(), {170.0, 64.0}, [&](std::size_t i) {
-      CellState& s = cells[i];
-      s.m = f.a[0](s.v) + f.b[0](s.v) * s.m;
-      s.h = f.a[1](s.v) + f.b[1](s.v) * s.h;
-      s.n = f.a[2](s.v) + f.b[2](s.v) * s.n;
-      double current = -ionic_current(s);
-      if (i >= stim_begin && i < stim_end) current += stim;
-      s.v += dt * current;
-    });
-    return;
   }
-  // libm path: 9 exp evaluations per cell (~300 flops equivalent).
-  ctx.forall(cells.size(), {300.0, 64.0}, [&](std::size_t i) {
-    CellState& s = cells[i];
-    const double a[3] = {rates::alpha_m(s.v), rates::alpha_h(s.v),
-                         rates::alpha_n(s.v)};
-    const double b[3] = {rates::beta_m(s.v), rates::beta_h(s.v),
-                         rates::beta_n(s.v)};
-    double* gates[3] = {&s.m, &s.h, &s.n};
-    for (int g = 0; g < 3; ++g) {
-      const double tau = 1.0 / (a[g] + b[g]);
-      const double inf = a[g] * tau;
-      *gates[g] = inf + (*gates[g] - inf) * std::exp(-dt / tau);
-    }
-    double current = -ionic_current(s);
-    if (i >= stim_begin && i < stim_end) current += stim;
-    s.v += dt * current;  // Cm = 1 uF/cm^2
+  ctx.forall(cells.size(), cell_workload(), [&](std::size_t i) {
+    update_cell(cells[i], dt, stim, i >= stim_begin && i < stim_end);
   });
 }
 

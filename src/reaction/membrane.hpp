@@ -57,6 +57,19 @@ class MembraneKernel {
             double stim = 0.0, std::size_t stim_begin = 0,
             std::size_t stim_end = 0) const;
 
+  /// Advances ONE cell in place — the building block step() launches over,
+  /// exposed so callers (the monodomain driver) can fuse the reaction into
+  /// an adjacent same-range kernel. `stim_on` gates the stimulus current
+  /// exactly as step()'s [stim_begin, stim_end) range does.
+  void update_cell(CellState& s, double dt, double stim = 0.0,
+                   bool stim_on = false) const;
+
+  /// Per-cell workload of one update, for pricing a fused launch.
+  hsim::Workload cell_workload() const {
+    return kind_ == RateKind::Rational ? hsim::Workload{170.0, 64.0}
+                                       : hsim::Workload{300.0, 64.0};
+  }
+
   /// Ionic current for one state (for diffusion coupling).
   double ionic_current(const CellState& s) const;
 

@@ -26,6 +26,11 @@ struct TissueConfig {
   double dt = 0.01;        ///< ms
   RateKind rates = RateKind::Libm;
   TissuePlacement placement = TissuePlacement::AllGpu;
+  /// Fuse the voltage-update kernel into the reaction kernel (one launch
+  /// per step instead of two, the voltage round trip between them elided)
+  /// — the Cardioid fusion the paper reports. Per-cell arithmetic and its
+  /// order are unchanged, so results are bitwise identical.
+  bool fuse_reaction = false;
 };
 
 class Monodomain {

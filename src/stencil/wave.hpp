@@ -31,6 +31,12 @@ struct WaveOptions {
   /// Models the RAJA-vs-CUDA abstraction penalty the SW4 team measured
   /// ("approximately 30%"): same numerics, 1.3x modeled kernel cost.
   bool raja_abstraction = false;
+  /// Issue the per-step work onto simulated streams: the host-forcing
+  /// upload rides stream 1 and hides under the stencil, and the shake-map
+  /// kernel rides stream 2 so it overlaps the next step's stencil instead
+  /// of extending the critical path. Accounting-only — the numerics and
+  /// their order are untouched, so fields are bitwise identical.
+  bool use_streams = false;
 };
 
 /// A Ricker-like point source at a grid location.
@@ -97,7 +103,8 @@ class WaveSolver : public resil::Checkpointable {
   }
   void fill_ghosts();
   void apply_laplacian_and_update(double dt);
-  void apply_forcing(double dt);
+  /// `skip_transfer` when the streamed step() already issued the upload.
+  void apply_forcing(double dt, bool skip_transfer = false);
 
   core::ExecContext* ctx_;
   std::size_t nx_, ny_, nz_;

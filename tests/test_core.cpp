@@ -318,4 +318,28 @@ TEST(ThreadPool, RepeatedDispatch) {
   EXPECT_EQ(total.load(), 5000);
 }
 
+TEST(ThreadPool, GuidedChunksCoverRangeOnce) {
+  // The guided scheduler splits the range into ~4x chunks claimed by an
+  // atomic counter; whatever the interleaving, each index runs exactly
+  // once. The plain lambda takes the template fast path (no std::function
+  // allocation); the wrapped call takes the erased one -- same contract.
+  core::ThreadPool pool(4);
+  for (const std::size_t n :
+       {std::size_t{1}, std::size_t{3}, std::size_t{17}, std::size_t{1000},
+        std::size_t{4099}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+    });
+    for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+
+    std::function<void(std::size_t, std::size_t)> erased =
+        [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+        };
+    pool.parallel_for(n, erased);
+    for (auto& h : hits) EXPECT_EQ(h.load(), 2);
+  }
+}
+
 }  // namespace

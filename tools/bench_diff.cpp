@@ -1,0 +1,194 @@
+// Compares two BENCH_*.json artifacts (or two directories of them) and
+// flags regressions. Usage:
+//
+//   bench_diff [--threshold=0.2] BASELINE CURRENT
+//
+// BASELINE/CURRENT are either two coe-bench-v1 JSON files or two
+// directories; with directories, reports are paired by file name and
+// unpaired files are listed but not fatal. For every pair the tool prints
+// the wall-time delta, each machine's simulated-time delta, and the delta
+// of every numeric metric the two reports share. The exit code is nonzero
+// iff some pair's wall time regressed by more than the threshold
+// (fractional, default 0.2 = +20%); simulated-time and metric drift is
+// informational, since modeled numbers move deliberately when the machine
+// models do.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using coe::obs::Json;
+
+bool load(const fs::path& path, Json& out) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  try {
+    out = Json::parse(ss.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+std::string pct(double base, double cur) {
+  if (base == 0.0) return cur == 0.0 ? "+0.0%" : "n/a";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f%%", 100.0 * (cur - base) / base);
+  return buf;
+}
+
+/// Flattens metrics.counters/gauges into name -> value (histograms have
+/// object values and are skipped).
+std::map<std::string, double> numeric_metrics(const Json& report) {
+  std::map<std::string, double> out;
+  if (!report.contains("metrics")) return out;
+  const Json& m = report.at("metrics");
+  for (const char* section : {"counters", "gauges"}) {
+    if (!m.contains(section) || !m.at(section).is_object()) continue;
+    for (const auto& [name, v] : m.at(section).fields()) {
+      if (v.is_number()) out[name] = v.as_number();
+    }
+  }
+  return out;
+}
+
+/// Diffs one baseline/current report pair; returns true iff wall time
+/// stayed within the threshold.
+bool diff_pair(const fs::path& base_path, const fs::path& cur_path,
+               double threshold) {
+  Json base, cur;
+  if (!load(base_path, base) || !load(cur_path, cur)) return false;
+
+  const std::string name =
+      cur.contains("name") && cur.at("name").is_string()
+          ? cur.at("name").as_string()
+          : cur_path.filename().string();
+  std::printf("== %s ==\n", name.c_str());
+
+  bool ok = true;
+  if (base.contains("wall_seconds") && cur.contains("wall_seconds")) {
+    const double wb = base.at("wall_seconds").as_number();
+    const double wc = cur.at("wall_seconds").as_number();
+    const bool regressed = wb > 0.0 && wc > wb * (1.0 + threshold);
+    std::printf("  wall      %12.4fs -> %12.4fs  %s%s\n", wb, wc,
+                pct(wb, wc).c_str(), regressed ? "  REGRESSION" : "");
+    ok = !regressed;
+  }
+
+  // Simulated machines, paired by name.
+  std::map<std::string, double> base_sim;
+  if (base.contains("machines")) {
+    for (const Json& m : base.at("machines").items()) {
+      base_sim[m.at("name").as_string()] = m.at("sim_seconds").as_number();
+    }
+  }
+  if (cur.contains("machines")) {
+    for (const Json& m : cur.at("machines").items()) {
+      const std::string& mn = m.at("name").as_string();
+      const double sc = m.at("sim_seconds").as_number();
+      const auto it = base_sim.find(mn);
+      if (it == base_sim.end()) {
+        std::printf("  sim  %-20s (new) %12.6fs\n", mn.c_str(), sc);
+      } else {
+        std::printf("  sim  %-20s %12.6fs -> %12.6fs  %s\n", mn.c_str(),
+                    it->second, sc, pct(it->second, sc).c_str());
+      }
+    }
+  }
+
+  const auto bm = numeric_metrics(base);
+  const auto cm = numeric_metrics(cur);
+  for (const auto& [mn, cv] : cm) {
+    const auto it = bm.find(mn);
+    if (it == bm.end()) continue;  // new metric: nothing to compare
+    if (it->second == cv) continue;  // unchanged: keep the report short
+    std::printf("  metric %-40s %14.6g -> %14.6g  %s\n", mn.c_str(),
+                it->second, cv, pct(it->second, cv).c_str());
+  }
+  return ok;
+}
+
+/// BENCH_*.json files directly inside `dir`, sorted by name.
+std::vector<fs::path> reports_in(const fs::path& dir) {
+  std::vector<fs::path> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    const std::string fn = e.path().filename().string();
+    if (e.is_regular_file() && fn.rfind("BENCH_", 0) == 0 &&
+        fn.size() > 5 && fn.substr(fn.size() - 5) == ".json") {
+      out.push_back(e.path());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 0.2;
+  std::vector<fs::path> paths;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threshold=", 12) == 0) {
+      threshold = std::atof(argv[i] + 12);
+    } else {
+      paths.emplace_back(argv[i]);
+    }
+  }
+  if (paths.size() != 2 || threshold < 0.0) {
+    std::fprintf(stderr,
+                 "usage: bench_diff [--threshold=FRAC] BASELINE CURRENT\n"
+                 "  BASELINE and CURRENT are BENCH_*.json files or"
+                 " directories of them.\n");
+    return 2;
+  }
+
+  bool ok = true;
+  if (fs::is_directory(paths[0]) && fs::is_directory(paths[1])) {
+    std::map<std::string, fs::path> base_by_name;
+    for (const auto& p : reports_in(paths[0])) {
+      base_by_name[p.filename().string()] = p;
+    }
+    std::size_t paired = 0;
+    for (const auto& p : reports_in(paths[1])) {
+      const auto it = base_by_name.find(p.filename().string());
+      if (it == base_by_name.end()) {
+        std::printf("-- %s: no baseline, skipped\n",
+                    p.filename().c_str());
+        continue;
+      }
+      ok = diff_pair(it->second, p, threshold) && ok;
+      base_by_name.erase(it);
+      ++paired;
+    }
+    for (const auto& [fn, p] : base_by_name) {
+      std::printf("-- %s: in baseline only\n", fn.c_str());
+    }
+    if (paired == 0) {
+      std::fprintf(stderr, "bench_diff: no report pairs found\n");
+      return 2;
+    }
+  } else {
+    ok = diff_pair(paths[0], paths[1], threshold);
+  }
+  std::printf("%s (threshold %+.0f%%)\n", ok ? "OK" : "FAILED",
+              threshold * 100.0);
+  return ok ? 0 : 1;
+}
