@@ -32,7 +32,8 @@ struct OverlapResult {
 /// and returns the simulated time plus the final checkpointable state.
 OverlapResult run_wave(bool use_streams, std::size_t n, int steps,
                        std::size_t num_sources,
-                       core::ExecContext* keep = nullptr) {
+                       core::ExecContext* keep = nullptr,
+                       prof::Profiler* profiler = nullptr) {
   auto local = core::make_device(hsim::machines::v100());
   core::ExecContext& ctx = keep ? *keep : local;
   stencil::WaveOptions opts;
@@ -40,6 +41,7 @@ OverlapResult run_wave(bool use_streams, std::size_t n, int steps,
   opts.fused = true;
   opts.forcing_on_device = false;  // the pre-offload SW4 configuration
   opts.use_streams = use_streams;
+  opts.profiler = profiler;
   stencil::WaveSolver solver(ctx, n, n, n, 1.0, 1.0, opts);
   for (std::size_t s = 0; s < num_sources; ++s) {
     solver.add_source({s % n, (3 * s) % n, (7 * s) % n, 1.0, 2.0, 0.2});
@@ -77,10 +79,16 @@ COE_BENCH_MAIN(ablation_overlap) {
     const bool is_headline = src == headline;
     auto serial_ctx = core::make_device(hsim::machines::v100());
     auto stream_ctx = core::make_device(hsim::machines::v100());
+    if (is_headline) {
+      // Trace + span the headline streamed run so the harness can extract
+      // its critical path and write PROF/TRACE artifacts.
+      stream_ctx.set_trace(&bench.trace());
+    }
     const OverlapResult serial =
         run_wave(false, n, steps, src, &serial_ctx);
     const OverlapResult streamed =
-        run_wave(true, n, steps, src, &stream_ctx);
+        run_wave(true, n, steps, src, &stream_ctx,
+                 is_headline ? &bench.profiler() : nullptr);
     const double speedup = serial.sim_seconds / streamed.sim_seconds;
     const bool identical = serial.state == streamed.state;
     t.row({std::to_string(src), core::Table::num(serial.sim_seconds * 1e3, 3),

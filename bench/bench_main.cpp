@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "obs/json.hpp"
+#include "prof/prof.hpp"
 
 namespace coe::bench {
 
@@ -43,17 +44,45 @@ obs::Json counters_json(const hsim::Counters& c) {
 /// Writes the report; returns false (after a stderr warning) on IO errors.
 bool write_json_report(const Harness& h, double wall_seconds) {
   const std::string base = h.out_dir() + "/";
+
+  // Critical-path attribution over whatever the body traced; written as
+  // PROF_<name>.json whenever there is a trace or at least one span, and
+  // used to decorate the TRACE file with flow events along the chain.
+  prof::DagProfile dag;
+  std::vector<std::string> flow;
+  const bool have_prof = !h.trace().empty() || !h.profiler().empty();
+  if (!h.trace().empty()) {
+    dag = prof::analyze(h.trace());
+    flow = prof::critical_path_flow_events(dag);
+  }
+
   std::string trace_path;
   if (!h.trace().empty()) {
     trace_path = base + "TRACE_" + h.name() + ".json";
     std::ofstream tf(trace_path);
     if (tf) {
-      obs::write_chrome_trace(tf, h.trace());
+      obs::write_chrome_trace(tf, h.trace(), flow.empty() ? nullptr : &flow);
     }
     if (!tf) {
       std::fprintf(stderr, "[bench] warning: could not write %s\n",
                    trace_path.c_str());
       trace_path.clear();
+    }
+  }
+
+  std::string prof_path;
+  if (have_prof) {
+    prof_path = base + "PROF_" + h.name() + ".json";
+    std::ofstream pf(prof_path);
+    if (pf) {
+      pf << prof::profile_json(dag, &h.profiler(), h.name()).dump() << "\n";
+    }
+    if (!pf) {
+      std::fprintf(stderr, "[bench] warning: could not write %s\n",
+                   prof_path.c_str());
+      prof_path.clear();
+    } else {
+      std::fprintf(stderr, "[bench] wrote %s\n", prof_path.c_str());
     }
   }
 
@@ -84,6 +113,16 @@ bool write_json_report(const Harness& h, double wall_seconds) {
     root.set("trace", std::move(to));
   } else {
     root.set("trace", obs::Json());
+  }
+
+  if (!prof_path.empty()) {
+    auto po = obs::Json::object();
+    po.set("path", obs::Json::string(prof_path));
+    po.set("critical_s", obs::Json::number(dag.critical_s));
+    po.set("coverage", obs::Json::number(dag.coverage));
+    root.set("profile", std::move(po));
+  } else {
+    root.set("profile", obs::Json());
   }
 
   const std::string path = base + "BENCH_" + h.name() + ".json";

@@ -21,6 +21,7 @@
 #include "core/exec.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "prof/span.hpp"
 
 namespace coe::bench {
 
@@ -36,11 +37,18 @@ struct MachineResult {
 
 class Harness {
  public:
-  /// Sinks the body publishes into; all three end up in the JSON report.
+  /// Sinks the body publishes into; all of them end up in the JSON report.
   obs::MetricsRegistry& metrics() { return metrics_; }
   obs::TraceBuffer& trace() { return trace_; }
   const obs::MetricsRegistry& metrics() const { return metrics_; }
   const obs::TraceBuffer& trace() const { return trace_; }
+
+  /// Span sink: drivers take a prof::Profiler* and bodies pass
+  /// `&bench.profiler()`. After the body returns, the harness analyzes the
+  /// trace (critical path + bottleneck classification) and writes
+  /// PROF_<name>.json next to the BENCH_ JSON, folding this tree in.
+  prof::Profiler& profiler() { return profiler_; }
+  const prof::Profiler& profiler() const { return profiler_; }
 
   /// Records a machine's simulated time (e.g. a shadow machine or a
   /// repriced total) without counters.
@@ -66,6 +74,7 @@ class Harness {
                        int (*body)(Harness&));
   obs::MetricsRegistry metrics_;
   obs::TraceBuffer trace_;
+  prof::Profiler profiler_;
   std::vector<MachineResult> machines_;
   std::vector<char*> args_;  ///< leftover argv + trailing nullptr
   std::string name_;
@@ -73,10 +82,11 @@ class Harness {
   bool json_enabled_ = true;
 };
 
-/// Parses harness flags, runs `body`, writes BENCH_<name>.json (and
-/// TRACE_<name>.json when the trace buffer is non-empty); returns the
-/// body's exit code. Artifact-write failures warn on stderr but do not
-/// fail the bench.
+/// Parses harness flags, runs `body`, writes BENCH_<name>.json (plus
+/// TRACE_<name>.json when the trace buffer is non-empty, with the critical
+/// path marked as flow events, and PROF_<name>.json when there is a trace
+/// or any spans); returns the body's exit code. Artifact-write failures
+/// warn on stderr but do not fail the bench.
 int run_bench(int argc, char** argv, const char* name, int (*body)(Harness&));
 
 }  // namespace coe::bench

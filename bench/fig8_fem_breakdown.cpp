@@ -3,7 +3,11 @@
 // a ~1M-dof high-order problem, single P8 CPU thread vs one P100. The
 // coupled solver runs for real; each phase's kernels are priced on both
 // machines (per-phase counters from the timeline).
+#include <algorithm>
 #include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/table.hpp"
 #include "fem/fem.hpp"
@@ -29,6 +33,7 @@ COE_BENCH_MAIN(fig8_fem_breakdown) {
 
   auto gpu = core::make_device(hsim::machines::p100());
   gpu.set_trace(&bench.trace());  // per-launch events for exact repricing
+  cfg.profiler = &bench.profiler();  // hierarchical spans -> PROF_*.json
   fem::NonlinearDiffusion app(gpu, cfg);
   auto rep = app.run();
 
@@ -46,12 +51,27 @@ COE_BENCH_MAIN(fig8_fem_breakdown) {
   const hsim::CostModel cpu(hsim::machines::power8_thread());
   core::Table t({"Phase", "P8 1-thread (s)", "P100 (s)", "speedup"});
   double cpu_total = 0.0, gpu_total = 0.0;
+  // The profiler tags CG-internal kernels with nested paths
+  // ("solve/cg/spmv"); fold those into their top-level phase so the table
+  // keeps the figure's three-row shape. reprice's phase filter is
+  // hierarchical, so the grouped name re-prices the whole subtree.
+  std::vector<std::pair<std::string, double>> groups;
   for (const auto& ph : gpu.timeline().phases()) {
-    const double t_gpu = ph.seconds;
-    const double t_cpu = hsim::reprice(bench.trace(), cpu, ph.name);
+    const std::string head = ph.name.substr(0, ph.name.find('/'));
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [&](const auto& g) { return g.first == head; });
+    if (it == groups.end()) {
+      groups.emplace_back(head, ph.seconds);
+    } else {
+      it->second += ph.seconds;
+    }
+  }
+  for (const auto& [name, seconds] : groups) {
+    const double t_gpu = seconds;
+    const double t_cpu = hsim::reprice(bench.trace(), cpu, name);
     cpu_total += t_cpu;
     gpu_total += t_gpu;
-    t.row({ph.name, core::Table::sci(t_cpu, 3), core::Table::sci(t_gpu, 3),
+    t.row({name, core::Table::sci(t_cpu, 3), core::Table::sci(t_gpu, 3),
            core::Table::num(t_cpu / t_gpu, 2)});
   }
   t.row({"total", core::Table::sci(cpu_total, 3),

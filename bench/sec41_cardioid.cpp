@@ -108,6 +108,11 @@ COE_BENCH_MAIN(sec41_cardioid) {
     reaction::TissueConfig cfg;
     cfg.nx = cfg.ny = 96;
     cfg.placement = placement;
+    cfg.profiler = &bench.profiler();
+    if (placement == reaction::TissuePlacement::AllGpu) {
+      // Trace the all-GPU run (the paper's choice) for the PROF artifact.
+      gpu.set_trace(&bench.trace());
+    }
     reaction::Monodomain tissue(gpu, cpu, cfg);
     const auto tr0 = gpu.counters().transfers;
     const double s0 = gpu.simulated_time() + cpu.simulated_time();

@@ -20,7 +20,8 @@ struct RunResult {
   double cpu_ms = 0.0;   ///< host-side work per step (Split placement)
 };
 
-RunResult run_martini(md::Placement placement, int steps) {
+RunResult run_martini(md::Placement placement, int steps,
+                      bench::Harness* h = nullptr) {
   core::Rng rng(99);
   md::Particles p;
   md::Box box;
@@ -32,6 +33,11 @@ RunResult run_martini(md::Placement placement, int steps) {
   cfg.thermostat = md::Thermostat::Langevin;
   cfg.temperature = 1.0;
   cfg.placement = placement;
+  if (h) {
+    // Trace + span the instrumented run for the PROF/TRACE artifacts.
+    gpu.set_trace(&h->trace());
+    cfg.profiler = &h->profiler();
+  }
   md::Simulation<md::MartiniPair> sim(gpu, cpu, std::move(p), box,
                                       md::MartiniPair(1.0, 1.0, 0.2, 2.0),
                                       cfg);
@@ -57,7 +63,7 @@ COE_BENCH_MAIN(sec46_md) {
   std::printf("=== Section 4.6: ddcMD vs GROMACS-like baseline ===\n\n");
   const int steps = 50;
 
-  const auto ddc = run_martini(md::Placement::AllGpu, steps);
+  const auto ddc = run_martini(md::Placement::AllGpu, steps, &bench);
   const auto gmx = run_martini(md::Placement::Split, steps);
 
   // ddcMD: everything on the GPU, double precision, 46 launch-time

@@ -20,7 +20,11 @@ struct DatasetSpec {
   double paper_avg, paper_weighted, paper_logreg, paper_nn;
 };
 
-void run_dataset(const DatasetSpec& spec) {
+void run_dataset(const DatasetSpec& spec, prof::Profiler* profiler) {
+  // No simulated context here: spans capture real wall time per stage
+  // (generate / single-stream eval / combiners) so PROF_table3_streams.json
+  // still reports where the bench spends its time.
+  prof::Scope dataset_span(profiler, nullptr, spec.name);
   ml::StreamsConfig cfg;
   cfg.classes = spec.classes;
   cfg.train_samples = 6000;
@@ -28,7 +32,10 @@ void run_dataset(const DatasetSpec& spec) {
   cfg.target_accuracy = spec.stream_acc;
   cfg.correlation = 0.82;
   cfg.seed = 1000 + spec.classes;
-  auto ds = ml::generate_streams(cfg);
+  ml::StreamsDataset ds = [&] {
+    prof::Scope s(profiler, nullptr, "generate");
+    return ml::generate_streams(cfg);
+  }();
 
   const char* stream_names[3] = {"Spatial Stream", "Temporal Stream",
                                  "SPyNet Stream"};
@@ -46,17 +53,24 @@ void run_dataset(const DatasetSpec& spec) {
     t.row({stream_names[s], core::Table::num(paper_single[s], 2),
            core::Table::num(100.0 * ml::stream_accuracy(ds.test, s), 2)});
   }
-  t.row({"Simple Average", core::Table::num(spec.paper_avg, 2),
-         core::Table::num(100.0 * ml::combine_simple_average(ds.test), 2)});
-  t.row({"Weighted Average", core::Table::num(spec.paper_weighted, 2),
-         core::Table::num(
-             100.0 * ml::combine_weighted_average(ds.test, val_acc), 2)});
-  t.row({"Logistic Regression", core::Table::num(spec.paper_logreg, 2),
-         core::Table::num(
-             100.0 * ml::combine_logistic_regression(ds.train, ds.test), 2)});
-  t.row({"Shallow NN", core::Table::num(spec.paper_nn, 2),
-         core::Table::num(100.0 * ml::combine_shallow_nn(ds.train, ds.test),
-                          2)});
+  {
+    prof::Scope s(profiler, nullptr, "averaging");
+    t.row({"Simple Average", core::Table::num(spec.paper_avg, 2),
+           core::Table::num(100.0 * ml::combine_simple_average(ds.test), 2)});
+    t.row({"Weighted Average", core::Table::num(spec.paper_weighted, 2),
+           core::Table::num(
+               100.0 * ml::combine_weighted_average(ds.test, val_acc), 2)});
+  }
+  {
+    prof::Scope s(profiler, nullptr, "trained_combiners");
+    t.row({"Logistic Regression", core::Table::num(spec.paper_logreg, 2),
+           core::Table::num(
+               100.0 * ml::combine_logistic_regression(ds.train, ds.test),
+               2)});
+    t.row({"Shallow NN", core::Table::num(spec.paper_nn, 2),
+           core::Table::num(
+               100.0 * ml::combine_shallow_nn(ds.train, ds.test), 2)});
+  }
   std::printf("--- %s (%zu classes) ---\n", spec.name, spec.classes);
   t.print();
   std::printf("\n");
@@ -69,8 +83,10 @@ COE_BENCH_MAIN(table3_streams) {
   std::printf("Shape to reproduce: each single stream ~55-88%%; any fusion"
               " gains several points over the best single stream.\n\n");
   run_dataset({"UCF101", 101, {0.8506, 0.8470, 0.8832}, 92.78, 93.47, 92.60,
-               93.18});
+               93.18},
+              &bench.profiler());
   run_dataset({"HMDB51", 51, {0.6144, 0.5634, 0.5869}, 75.16, 77.45, 81.24,
-               80.33});
+               80.33},
+              &bench.profiler());
   return 0;
 }

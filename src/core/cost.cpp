@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <iomanip>
+#include <map>
 #include <sstream>
 
 namespace coe::hsim {
@@ -47,11 +48,27 @@ std::string Timeline::report(const std::string& title) const {
   return os.str();
 }
 
+namespace {
+
+/// Phase filter used by reprice: exact match, or a hierarchical child
+/// ("solve" matches "solve/cg/spmv" but not "solve2"). Spans (prof::Scope)
+/// tag events with "/"-joined paths; callers aggregating by a coarse phase
+/// name keep working unchanged.
+bool phase_matches(std::string_view event_phase, std::string_view phase) {
+  if (event_phase == phase) return true;
+  return event_phase.size() > phase.size() &&
+         event_phase.compare(0, phase.size(), phase) == 0 &&
+         event_phase[phase.size()] == '/';
+}
+
+}  // namespace
+
 double reprice(const obs::TraceBuffer& trace, const CostModel& m,
                std::string_view phase) {
   double t = 0.0;
   for (const auto& e : trace.snapshot()) {
-    if (!phase.empty() && e.phase != phase) continue;
+    if (obs::is_marker(e.kind)) continue;
+    if (!phase.empty() && !phase_matches(e.phase, phase)) continue;
     if (e.kind == obs::TraceEvent::Kind::Kernel) {
       t += m.kernel_time({e.flops, e.bytes});
     } else {
@@ -68,9 +85,33 @@ double reprice_streamed(const obs::TraceBuffer& trace, const CostModel& m) {
       0.0);
   double copy_ready[2] = {0.0, 0.0};
   double makespan = 0.0;
+  double floor = 0.0;
+  // Stream-event completion times, rebuilt on the replay clock from the
+  // record markers so wait edges bind at the repriced times, not the
+  // recorded ones.
+  std::map<std::int64_t, double> recorded;
   for (const auto& e : trace.snapshot()) {
     const auto s = static_cast<std::size_t>(e.stream < 0 ? 0 : e.stream);
-    if (s >= stream_ready.size()) stream_ready.resize(s + 1, 0.0);
+    if (s >= stream_ready.size()) stream_ready.resize(s + 1, floor);
+    if (obs::is_marker(e.kind)) {
+      switch (e.kind) {
+        case obs::TraceEvent::Kind::EventRecord:
+          recorded[e.dep] = stream_ready[s];
+          break;
+        case obs::TraceEvent::Kind::EventWait: {
+          const auto it = recorded.find(e.dep);
+          if (it != recorded.end() && it->second > stream_ready[s]) {
+            stream_ready[s] = it->second;
+          }
+          break;
+        }
+        default:  // Sync: join every stream at the replay makespan.
+          floor = makespan;
+          for (auto& r : stream_ready) r = makespan;
+          break;
+      }
+      continue;
+    }
     double start = stream_ready[s];
     double end = 0.0;
     if (e.kind == obs::TraceEvent::Kind::Kernel) {

@@ -116,6 +116,8 @@ class CostModel {
 /// authoritative per-launch form that CostModel::predict can only lower
 /// bound. Restricting to one timeline phase (empty = all) gives the
 /// cross-machine per-phase breakdowns of Figures 2/8 without shadowing.
+/// The phase filter is hierarchical: "solve" also matches events tagged
+/// "solve/cg/spmv" by nested prof::Scope spans.
 double reprice(const obs::TraceBuffer& trace, const CostModel& m,
                std::string_view phase = {});
 
@@ -124,10 +126,10 @@ double reprice(const obs::TraceBuffer& trace, const CostModel& m,
 /// uses — per-stream in-order execution, kernels limited to the machine's
 /// `concurrent_kernels` slots, one DMA engine per transfer direction —
 /// with durations recomputed on the target machine. Returns the makespan.
-/// On the machine the trace was recorded on this agrees exactly with
-/// ExecContext::simulated_time() as long as the run used no explicit
-/// wait_event/sync edges mid-stream (those host-side edges are not
-/// recorded in the trace, so replay treats the streams as free-running).
+/// The host-side ordering edges (record_event/wait_event/sync) are carried
+/// in the trace as zero-duration markers and replayed at the repriced
+/// times, so on the machine the trace was recorded on this agrees exactly
+/// with ExecContext::simulated_time().
 double reprice_streamed(const obs::TraceBuffer& trace, const CostModel& m);
 
 /// Publishes a counter set into a metrics registry under dotted names

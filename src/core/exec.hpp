@@ -86,6 +86,7 @@ class ExecContext {
     copy_ready_[0] = copy_ready_[1] = 0.0;
     cur_stream_ = 0;
     stream_floor_ = 0.0;
+    next_event_id_ = 0;
   }
 
   hsim::Timeline& timeline() { return timeline_; }
@@ -98,7 +99,8 @@ class ExecContext {
   /// Opaque marker of "everything issued on a stream so far" — the
   /// cudaEvent analog for cross-stream ordering.
   struct StreamEvent {
-    double t = 0.0;  ///< simulated completion time of the recorded work
+    double t = 0.0;        ///< simulated completion time of the recorded work
+    std::int64_t id = -1;  ///< trace marker id linking record to waits
   };
 
   /// Subsequent launches/transfers issue onto simulated stream `id`
@@ -112,13 +114,18 @@ class ExecContext {
 
   /// Records an event on the current stream: it completes when all work
   /// issued on this stream so far has completed.
-  StreamEvent record_event() { return StreamEvent{stream_ready(cur_stream_)}; }
+  StreamEvent record_event() {
+    StreamEvent ev{stream_ready(cur_stream_), next_event_id_++};
+    if (trace_) push_marker(obs::TraceEvent::Kind::EventRecord, ev.t, ev.id);
+    return ev;
+  }
 
   /// Makes subsequent work on the current stream start no earlier than
   /// `ev` completes (cudaStreamWaitEvent).
   void wait_event(StreamEvent ev) {
     double& r = stream_ready(cur_stream_);
     if (ev.t > r) r = ev.t;
+    if (trace_) push_marker(obs::TraceEvent::Kind::EventWait, r, ev.id);
   }
 
   /// Joins every stream (cudaDeviceSynchronize): subsequent work on any
@@ -126,6 +133,7 @@ class ExecContext {
   double sync() {
     stream_floor_ = sim_time_;
     for (auto& r : stream_ready_) r = sim_time_;
+    if (trace_) push_marker(obs::TraceEvent::Kind::Sync, sim_time_, -1);
     return sim_time_;
   }
 
@@ -134,8 +142,15 @@ class ExecContext {
   /// flop/byte counts, predicted duration, backend, stream id, and the
   /// roofline memory-/compute-bound classification against this machine's
   /// ridge. nullptr detaches; with no buffer attached the only cost per
-  /// launch is one branch.
-  void set_trace(obs::TraceBuffer* buf) { trace_ = buf; }
+  /// launch is one branch. The buffer is stamped with this machine's name
+  /// and launch overhead so offline consumers can attribute durations.
+  void set_trace(obs::TraceBuffer* buf) {
+    trace_ = buf;
+    if (trace_) {
+      trace_->set_source(model_.machine().name,
+                         model_.machine().launch_overhead);
+    }
+  }
   obs::TraceBuffer* trace() const { return trace_; }
 
   /// Subsequent launches are traced under this label; an empty label
@@ -401,6 +416,21 @@ class ExecContext {
     return stream_ready_[s];
   }
 
+  /// Appends a zero-duration ordering marker (record/wait/sync) so offline
+  /// consumers can rebuild the host-side dependency edges. Costs nothing on
+  /// the simulated clock; only called with a trace attached.
+  void push_marker(obs::TraceEvent::Kind kind, double t, std::int64_t dep) {
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.backend = to_string(backend_);
+    e.phase = phase_;
+    e.label = to_string(kind);
+    e.t_start = t;
+    e.stream = static_cast<int>(cur_stream_);
+    e.dep = dep;
+    trace_->push(std::move(e));
+  }
+
   void launch_end(const hsim::KernelCost& c, const char* kind) {
     counters_.launches += 1;
     counters_.flops += c.flops;
@@ -453,6 +483,7 @@ class ExecContext {
   double copy_ready_[2] = {0.0, 0.0};
   std::size_t cur_stream_ = 0;
   double stream_floor_ = 0.0;
+  std::int64_t next_event_id_ = 0;
   std::string phase_ = "main";
   std::string label_;
 };

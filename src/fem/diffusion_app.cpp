@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "la/vector_ops.hpp"
+#include "prof/span.hpp"
 
 namespace coe::fem {
 
@@ -21,6 +22,7 @@ class DiffusionRhs final : public ode::OdeRhs {
 
   void eval(double, const ode::NVector& y, ode::NVector& ydot) override {
     ctx_->set_phase("formulation");
+    prof::Scope span(cfg_->profiler, ctx_, "formulation");
     stiff_.set_kappa_from_nodal(y.data(), cfg_->conductivity);
     stiff_.apply(*ctx_, y.data(), scratch_);
     la::scale(*ctx_, -1.0, scratch_);
@@ -33,7 +35,7 @@ class DiffusionRhs final : public ode::OdeRhs {
     DiagPrec prec{&mass_diag_};
     ydot.fill(0.0);
     auto res = la::cg(*ctx_, mass_, prec, scratch_, ydot.data(),
-                      {200, 1e-10, 0.0});
+                      {200, 1e-10, 0.0, false, cfg_->profiler});
     report_->mass_cg_iterations += res.iterations;
   }
 
@@ -75,6 +77,7 @@ class DiffusionNewtonSolver final : public ode::OdeLinearSolver {
 
   void setup(double, const ode::NVector& y, double gamma) override {
     ctx_->set_phase("preconditioner");
+    prof::Scope span(cfg_->profiler, ctx_, "preconditioner");
     system_.set_alpha_beta(1.0, gamma);
     system_.set_kappa_from_nodal(y.data(), cfg_->conductivity);
     if (cfg_->use_amg) {
@@ -100,13 +103,14 @@ class DiffusionNewtonSolver final : public ode::OdeLinearSolver {
 
   void solve(const ode::NVector& r, ode::NVector& x) override {
     ctx_->set_phase("solve");
+    prof::Scope span(cfg_->profiler, ctx_, "solve");
     mass_.apply(*ctx_, r.data(), rhs_);
     x.fill(0.0);
     const la::Preconditioner& prec =
         cfg_->use_amg ? static_cast<const la::Preconditioner&>(*amg_)
                       : static_cast<const la::Preconditioner&>(*jacobi_);
     auto res = la::cg(*ctx_, system_, prec, rhs_, x.data(),
-                      {500, 1e-8, 0.0});
+                      {500, 1e-8, 0.0, false, cfg_->profiler});
     report_->cg_iterations += res.iterations;
     report_->cg_solves += 1;
   }

@@ -33,6 +33,11 @@ struct DiffusionConfig {
   /// Nonlinear conductivity k(u).
   std::function<double(double)> conductivity =
       [](double u) { return 1.0 + u * u; };
+  /// Optional span sink: when set, the three driver phases become
+  /// hierarchical prof::Scope regions ("formulation", "preconditioner",
+  /// "solve") with the CG stages nested beneath them, so trace events are
+  /// tagged "solve/cg/spmv" etc. instead of flat phase names.
+  prof::Profiler* profiler = nullptr;
 };
 
 struct DiffusionReport {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "la/vector_ops.hpp"
+#include "prof/span.hpp"
 
 namespace coe::la {
 
@@ -21,9 +22,19 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
   const std::size_t n = a.rows();
   std::vector<double> r(n), z(n), p(n), ap(n);
 
-  a.apply(ctx, x, ap);
-  axpby(ctx, 1.0, b, -1.0, ap, r);
-  m.apply(ctx, r, z);
+  prof::Scope solve_span(opts.profiler, &ctx, "cg");
+  {
+    prof::Scope s(opts.profiler, &ctx, "spmv");
+    a.apply(ctx, x, ap);
+  }
+  {
+    prof::Scope s(opts.profiler, &ctx, "blas1");
+    axpby(ctx, 1.0, b, -1.0, ap, r);
+  }
+  {
+    prof::Scope s(opts.profiler, &ctx, "precond");
+    m.apply(ctx, r, z);
+  }
   copy(ctx, z, p);
 
   double rz = dot(ctx, r, z);
@@ -41,29 +52,35 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
   const std::span<const double> md = m.diag();
 
   for (std::size_t it = 1; it <= opts.max_iters; ++it) {
-    a.apply(ctx, p, ap);
-    const double pap = dot(ctx, p, ap);
-    if (pap == 0.0) break;
-    const double alpha = rz / pap;
-    double rnorm;
-    if (opts.fused) {
-      // x += alpha p, r -= alpha ap, and the r.r reduction share one
-      // launch; r's store+reload between the update and the reduction
-      // stays in registers (one 8-byte elision per element).
-      const double rr =
-          ctx.fused(n)
-              .then({2.0, 24.0},
-                    [&](std::size_t i) { x[i] += alpha * p[i]; })
-              .then({2.0, 24.0},
-                    [&](std::size_t i) { r[i] -= alpha * ap[i]; })
-              .elide(8.0)
-              .reduce_sum({2.0, 16.0},
-                          [&](std::size_t i) { return r[i] * r[i]; });
-      rnorm = std::sqrt(rr);
-    } else {
-      axpy(ctx, alpha, p, x);
-      axpy(ctx, -alpha, ap, r);
-      rnorm = norm2(ctx, r);
+    {
+      prof::Scope s(opts.profiler, &ctx, "spmv");
+      a.apply(ctx, p, ap);
+    }
+    double pap, alpha, rnorm = 0.0;
+    {
+      prof::Scope s(opts.profiler, &ctx, "blas1");
+      pap = dot(ctx, p, ap);
+      if (pap == 0.0) break;
+      alpha = rz / pap;
+      if (opts.fused) {
+        // x += alpha p, r -= alpha ap, and the r.r reduction share one
+        // launch; r's store+reload between the update and the reduction
+        // stays in registers (one 8-byte elision per element).
+        const double rr =
+            ctx.fused(n)
+                .then({2.0, 24.0},
+                      [&](std::size_t i) { x[i] += alpha * p[i]; })
+                .then({2.0, 24.0},
+                      [&](std::size_t i) { r[i] -= alpha * ap[i]; })
+                .elide(8.0)
+                .reduce_sum({2.0, 16.0},
+                            [&](std::size_t i) { return r[i] * r[i]; });
+        rnorm = std::sqrt(rr);
+      } else {
+        axpy(ctx, alpha, p, x);
+        axpy(ctx, -alpha, ap, r);
+        rnorm = norm2(ctx, r);
+      }
     }
     res.iterations = it;
     res.final_residual = rnorm;
@@ -72,20 +89,26 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
       return res;
     }
     double rz_new;
-    if (opts.fused && !md.empty()) {
-      rz_new = ctx.fused(n)
-                   .then({1.0, 24.0},
-                         [&](std::size_t i) { z[i] = r[i] / md[i]; })
-                   .elide(8.0)
-                   .reduce_sum({2.0, 16.0},
-                               [&](std::size_t i) { return r[i] * z[i]; });
-    } else {
-      m.apply(ctx, r, z);
-      rz_new = dot(ctx, r, z);
+    {
+      prof::Scope s(opts.profiler, &ctx, "precond");
+      if (opts.fused && !md.empty()) {
+        rz_new = ctx.fused(n)
+                     .then({1.0, 24.0},
+                           [&](std::size_t i) { z[i] = r[i] / md[i]; })
+                     .elide(8.0)
+                     .reduce_sum({2.0, 16.0},
+                                 [&](std::size_t i) { return r[i] * z[i]; });
+      } else {
+        m.apply(ctx, r, z);
+        rz_new = dot(ctx, r, z);
+      }
     }
     const double beta = rz_new / rz;
     rz = rz_new;
-    xpby(ctx, z, beta, p);
+    {
+      prof::Scope s(opts.profiler, &ctx, "blas1");
+      xpby(ctx, z, beta, p);
+    }
   }
   return res;
 }

@@ -9,6 +9,10 @@
 #include "la/csr.hpp"
 #include "la/operator.hpp"
 
+namespace coe::prof {
+class Profiler;
+}
+
 namespace coe::la {
 
 struct SolveOptions {
@@ -22,6 +26,11 @@ struct SolveOptions {
   /// change — the arithmetic per element is unchanged, so results are
   /// bitwise identical to the unfused path on deterministic backends.
   bool fused = false;
+  /// Optional span sink (appended last: positional initializers predate
+  /// it). When set, cg() wraps the solve in a "cg" prof::Scope with
+  /// "spmv" / "precond" / "blas1" children, so profiled benches get a
+  /// per-stage predicted-vs-measured skew for the solver.
+  prof::Profiler* profiler = nullptr;
 };
 
 struct SolveResult {

@@ -18,6 +18,7 @@
 
 #include "core/rng.hpp"
 #include "md/forces.hpp"
+#include "prof/span.hpp"
 #include "resil/checkpoint.hpp"
 
 namespace coe::md {
@@ -37,6 +38,10 @@ struct SimConfig {
   double compressibility = 0.05;
   Placement placement = Placement::AllGpu;
   std::uint64_t seed = 2718;
+  /// Optional span sink: when set, each step() wraps its stages in
+  /// "md_step" / "integrate" / "constraints" / "forces" / "thermostat"
+  /// prof::Scope regions.
+  prof::Profiler* profiler = nullptr;
 };
 
 /// A distance constraint |r_i - r_j| = d (SHAKE).
@@ -84,6 +89,7 @@ class Simulation : public resil::Checkpointable {
   StepInfo step() {
     const double dt = cfg_.dt;
     auto& integ = integration_ctx();
+    prof::Scope step_span(cfg_.profiler, device_, "md_step");
     // Half kick, snapshot (SHAKE reference), then drift -- fused into one
     // kernel as ddcMD does, expressed through the fusion API. Stage
     // workloads sum to the {9, 96}-per-particle kernel charged before,
@@ -92,45 +98,61 @@ class Simulation : public resil::Checkpointable {
     xprev_.resize(p_.n);
     yprev_.resize(p_.n);
     zprev_.resize(p_.n);
-    integ.fused(p_.n)
-        .then({3.0, 36.0},
-              [&](std::size_t i) {
-                const double inv_m = 1.0 / p_.mass[i];
-                p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
-                p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
-                p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
-              })
-        .then({0.0, 24.0},
-              [&](std::size_t i) {
-                xprev_[i] = p_.x[i];
-                yprev_[i] = p_.y[i];
-                zprev_[i] = p_.z[i];
-              })
-        .then({6.0, 36.0},
-              [&](std::size_t i) {
-                p_.x[i] = box_.fold(p_.x[i] + dt * p_.vx[i]);
-                p_.y[i] = box_.fold(p_.y[i] + dt * p_.vy[i]);
-                p_.z[i] = box_.fold(p_.z[i] + dt * p_.vz[i]);
-              })
-        .launch();
+    {
+      prof::Scope kick_span(cfg_.profiler, &integ, "integrate");
+      integ.fused(p_.n)
+          .then({3.0, 36.0},
+                [&](std::size_t i) {
+                  const double inv_m = 1.0 / p_.mass[i];
+                  p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
+                  p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
+                  p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
+                })
+          .then({0.0, 24.0},
+                [&](std::size_t i) {
+                  xprev_[i] = p_.x[i];
+                  yprev_[i] = p_.y[i];
+                  zprev_[i] = p_.z[i];
+                })
+          .then({6.0, 36.0},
+                [&](std::size_t i) {
+                  p_.x[i] = box_.fold(p_.x[i] + dt * p_.vx[i]);
+                  p_.y[i] = box_.fold(p_.y[i] + dt * p_.vy[i]);
+                  p_.z[i] = box_.fold(p_.z[i] + dt * p_.vz[i]);
+                })
+          .launch();
+    }
 
     StepInfo info;
-    if (!constraints_.empty()) info.shake_iters = shake(dt);
+    if (!constraints_.empty()) {
+      prof::Scope shake_span(cfg_.profiler, &integ, "constraints");
+      info.shake_iters = shake(dt);
+    }
 
-    if (nl_.needs_rebuild(p_, box_)) nl_.build(*device_, p_, box_);
-    info = compute_forces(info);
+    {
+      prof::Scope force_span(cfg_.profiler, device_, "forces");
+      if (nl_.needs_rebuild(p_, box_)) nl_.build(*device_, p_, box_);
+      info = compute_forces(info);
+    }
 
-    // Second half kick (same pricing as the record_kernel it replaces).
-    integ.forall(p_.n, {6.0, 96.0}, [&](std::size_t i) {
-      const double inv_m = 1.0 / p_.mass[i];
-      p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
-      p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
-      p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
-    });
+    {
+      prof::Scope kick_span(cfg_.profiler, &integ, "integrate");
+      // Second half kick (same pricing as the record_kernel it replaces).
+      integ.forall(p_.n, {6.0, 96.0}, [&](std::size_t i) {
+        const double inv_m = 1.0 / p_.mass[i];
+        p_.vx[i] += 0.5 * dt * p_.fx[i] * inv_m;
+        p_.vy[i] += 0.5 * dt * p_.fy[i] * inv_m;
+        p_.vz[i] += 0.5 * dt * p_.fz[i] * inv_m;
+      });
+    }
 
-    if (cfg_.thermostat == Thermostat::Langevin) apply_langevin(dt);
-    if (cfg_.barostat == Barostat::Berendsen) {
-      apply_berendsen(dt, info.pressure);
+    if (cfg_.thermostat != Thermostat::None ||
+        cfg_.barostat != Barostat::None) {
+      prof::Scope thermo_span(cfg_.profiler, &integ, "thermostat");
+      if (cfg_.thermostat == Thermostat::Langevin) apply_langevin(dt);
+      if (cfg_.barostat == Barostat::Berendsen) {
+        apply_berendsen(dt, info.pressure);
+      }
     }
 
     info.kinetic = p_.kinetic_energy();

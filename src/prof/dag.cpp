@@ -1,0 +1,254 @@
+#include "prof/dag.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+
+namespace coe::prof {
+
+const char* to_string(EdgeKind k) {
+  switch (k) {
+    case EdgeKind::Root: return "root";
+    case EdgeKind::ProgramOrder: return "program_order";
+    case EdgeKind::EventWait: return "event_wait";
+    case EdgeKind::KernelSlot: return "kernel_slot";
+    case EdgeKind::DmaEngine: return "dma_engine";
+    case EdgeKind::Dependency: return "dependency";
+  }
+  return "?";
+}
+
+const char* to_string(Category c) {
+  switch (c) {
+    case Category::Compute: return "compute";
+    case Category::Memory: return "memory";
+    case Category::Launch: return "launch";
+    case Category::Transfer: return "transfer";
+    case Category::DependencyStall: return "dependency_stall";
+  }
+  return "?";
+}
+
+Category PhaseProfile::bound() const {
+  const double parts[5] = {compute_s, memory_s, launch_s, transfer_s,
+                           stall_s};
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < 5; ++i) {
+    if (parts[i] > parts[best]) best = i;
+  }
+  return static_cast<Category>(best);
+}
+
+const PhaseProfile* DagProfile::phase(const std::string& name) const {
+  for (const auto& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+bool is_transfer(obs::TraceEvent::Kind k) {
+  return k == obs::TraceEvent::Kind::TransferH2D ||
+         k == obs::TraceEvent::Kind::TransferD2H;
+}
+
+double end_of(const obs::TraceEvent& e) { return e.t_start + e.duration; }
+
+/// Finds the binding predecessor of `events[ci]`: the already-issued event
+/// whose completion coincides with cur's start. When several ends land on
+/// the start time (within eps), the most specific constraint wins:
+/// program order on the same stream, then a replayed wait edge, then
+/// resource contention (kernel slot / DMA engine), then a generic
+/// dependency. Returns events.size() when no predecessor binds — the
+/// chain has reached the window origin (or a trace gap).
+std::size_t binding_predecessor(const std::vector<obs::TraceEvent>& events,
+                                const std::vector<char>& wait_bound,
+                                std::size_t ci, double eps, EdgeKind* via) {
+  const obs::TraceEvent& cur = events[ci];
+  const double target = cur.t_start;
+  std::size_t best = events.size();
+  int best_rank = 99;
+  double best_err = 0.0;
+  for (std::size_t j = ci; j-- > 0;) {
+    const obs::TraceEvent& p = events[j];
+    // Zero-duration predecessors cannot carry critical-path time and,
+    // since their start == their end, chaining through them would not
+    // advance the backward walk.
+    if (!(p.duration > 0.0)) continue;
+    const double err = std::abs(end_of(p) - target);
+    if (err > eps) continue;
+    int rank;
+    if (p.stream == cur.stream) {
+      rank = 0;  // ProgramOrder
+    } else if (wait_bound[ci]) {
+      rank = 1;  // EventWait
+    } else if (cur.kind == obs::TraceEvent::Kind::Kernel &&
+               p.kind == obs::TraceEvent::Kind::Kernel) {
+      rank = 2;  // KernelSlot
+    } else if (is_transfer(cur.kind) && p.kind == cur.kind) {
+      rank = 2;  // DmaEngine
+    } else {
+      rank = 3;  // Dependency
+    }
+    if (rank < best_rank || (rank == best_rank && err < best_err)) {
+      best = j;
+      best_rank = rank;
+      best_err = err;
+    }
+  }
+  if (best == events.size()) {
+    *via = EdgeKind::Root;
+    return best;
+  }
+  switch (best_rank) {
+    case 0: *via = EdgeKind::ProgramOrder; break;
+    case 1: *via = EdgeKind::EventWait; break;
+    case 2:
+      *via = events[ci].kind == obs::TraceEvent::Kind::Kernel
+                 ? EdgeKind::KernelSlot
+                 : EdgeKind::DmaEngine;
+      break;
+    default: *via = EdgeKind::Dependency; break;
+  }
+  return best;
+}
+
+}  // namespace
+
+DagProfile analyze(const obs::TraceBuffer& buf) {
+  DagProfile prof;
+  prof.machine = buf.source();
+  prof.launch_overhead = buf.launch_overhead();
+  prof.dropped = buf.dropped();
+
+  const auto snap = buf.snapshot();
+  // Split payload events from the zero-duration ordering markers, but
+  // remember which waits bind which events: a wait_event marker raises its
+  // stream to the recorded completion time, so the next payload event on
+  // that stream starting exactly there entered through a wait edge.
+  std::map<int, std::vector<double>> pending_waits;
+  std::vector<char> wait_bound;
+  for (const auto& e : snap) {
+    if (obs::is_marker(e.kind)) {
+      if (e.kind == obs::TraceEvent::Kind::EventWait) {
+        pending_waits[e.stream].push_back(e.t_start);
+      }
+      continue;
+    }
+    prof.events.push_back(e);
+    wait_bound.push_back(0);
+    auto it = pending_waits.find(e.stream);
+    if (it != pending_waits.end()) {
+      for (double t : it->second) {
+        if (std::abs(t - e.t_start) <=
+            1e-12 * std::max(1.0, std::abs(e.t_start))) {
+          wait_bound.back() = 1;
+        }
+      }
+      it->second.clear();
+    }
+  }
+  if (prof.events.empty()) return prof;
+
+  prof.origin = prof.events.front().t_start;
+  prof.makespan = end_of(prof.events.front());
+  std::size_t sink = 0;
+  std::map<int, StreamProfile> streams;
+  std::map<int, double> last_end;  // per-stream previous completion
+  std::map<std::string, std::size_t> phase_index;
+
+  auto phase_of = [&](const obs::TraceEvent& e) -> PhaseProfile& {
+    const std::string name = e.phase.empty() ? "(none)" : e.phase;
+    auto it = phase_index.find(name);
+    if (it == phase_index.end()) {
+      it = phase_index.emplace(name, prof.phases.size()).first;
+      prof.phases.push_back(PhaseProfile{});
+      prof.phases.back().name = name;
+    }
+    return prof.phases[it->second];
+  };
+
+  for (std::size_t i = 0; i < prof.events.size(); ++i) {
+    const auto& e = prof.events[i];
+    prof.origin = std::min(prof.origin, e.t_start);
+    if (end_of(e) > prof.makespan) {
+      prof.makespan = end_of(e);
+      sink = i;
+    }
+    prof.busy_s += e.duration;
+    auto& s = streams[e.stream];
+    s.stream = e.stream;
+    s.busy_s += e.duration;
+    s.events++;
+  }
+  prof.window_s = prof.makespan - prof.origin;
+
+  // Per-phase busy decomposition + dependency stalls. The launch-overhead
+  // share of each kernel comes from the stamped machine metadata; the
+  // roofline remainder is attributed per the event's recorded bound.
+  for (const auto& e : prof.events) {
+    auto& ph = phase_of(e);
+    ph.busy_s += e.duration;
+    if (e.kind == obs::TraceEvent::Kind::Kernel) {
+      ph.kernels++;
+      const double launch = std::min(e.duration, prof.launch_overhead);
+      ph.launch_s += launch;
+      const double roofline = e.duration - launch;
+      if (e.bound == obs::TraceEvent::Bound::Compute) {
+        ph.compute_s += roofline;
+      } else {
+        ph.memory_s += roofline;
+      }
+    } else {
+      ph.transfers++;
+      ph.transfer_s += e.duration;
+    }
+    auto it = last_end.find(e.stream);
+    const double prev = it == last_end.end() ? prof.origin : it->second;
+    if (e.t_start > prev) ph.stall_s += e.t_start - prev;
+    const double end = end_of(e);
+    if (it == last_end.end()) {
+      last_end.emplace(e.stream, end);
+    } else if (end > it->second) {
+      it->second = end;
+    }
+  }
+
+  for (auto& [id, s] : streams) {
+    s.utilization = prof.window_s > 0.0 ? s.busy_s / prof.window_s : 0.0;
+    prof.streams.push_back(s);
+  }
+  prof.overlap_efficiency =
+      prof.window_s > 0.0 ? prof.busy_s / prof.window_s : 0.0;
+
+  // Backward walk from the sink. Each predecessor's end coincides with the
+  // current start, so the chain is gapless and start times strictly
+  // decrease (binding predecessors have duration > 0) — termination is
+  // guaranteed.
+  const double eps =
+      1e-9 * std::max({1.0, std::abs(prof.makespan), prof.window_s});
+  std::size_t cur = sink;
+  for (;;) {
+    EdgeKind via = EdgeKind::Root;
+    const std::size_t pred = binding_predecessor(
+        prof.events, wait_bound, cur, eps, &via);
+    prof.critical_path.push_back(CritStep{cur, via});
+    if (pred == prof.events.size()) break;
+    cur = pred;
+  }
+  std::reverse(prof.critical_path.begin(), prof.critical_path.end());
+
+  for (const auto& step : prof.critical_path) {
+    const auto& e = prof.events[step.event];
+    prof.critical_s += e.duration;
+    prof.edge_seconds[static_cast<std::size_t>(step.via)] += e.duration;
+    phase_of(e).crit_s += e.duration;
+  }
+  prof.coverage =
+      prof.window_s > 0.0 ? prof.critical_s / prof.window_s : 1.0;
+  return prof;
+}
+
+}  // namespace coe::prof

@@ -1,0 +1,8 @@
+#pragma once
+// Umbrella header for coe::prof — critical-path attribution (dag.hpp),
+// hierarchical RAII phase spans (span.hpp), and report/JSON/trace
+// exporters (report.hpp). See DESIGN.md section 12.
+
+#include "prof/dag.hpp"      // IWYU pragma: export
+#include "prof/report.hpp"   // IWYU pragma: export
+#include "prof/span.hpp"     // IWYU pragma: export

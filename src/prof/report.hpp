@@ -1,0 +1,33 @@
+#pragma once
+// Exporters for the DAG attribution: a human-readable bottleneck report,
+// the coe-prof-v1 JSON document (the PROF_*.json artifact every profiled
+// bench writes next to its BENCH_ JSON), and Chrome trace flow events that
+// highlight the critical path in the timeline viewer.
+
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "prof/dag.hpp"
+#include "prof/span.hpp"
+
+namespace coe::prof {
+
+/// Fixed-width text report: run summary (makespan, critical path,
+/// coverage, overlap efficiency), per-stream utilization, critical-path
+/// edge breakdown, and the per-phase five-way percentage table (the five
+/// shares of each row sum to 100%).
+std::string bottleneck_report(const DagProfile& prof,
+                              const std::string& title);
+
+/// Builds the coe-prof-v1 document. `spans` (optional) attaches the
+/// Profiler tree with its per-region predicted-vs-measured skew.
+obs::Json profile_json(const DagProfile& prof, const Profiler* spans,
+                       const std::string& name);
+
+/// Pre-serialized Chrome flow events ("ph":"s"/"f" pairs on id 1) linking
+/// consecutive critical-path steps; pass to obs::write_chrome_trace as
+/// `extra_events` so viewers draw the critical path as arrows.
+std::vector<std::string> critical_path_flow_events(const DagProfile& prof);
+
+}  // namespace coe::prof

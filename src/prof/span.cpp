@@ -1,0 +1,124 @@
+#include "prof/span.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "core/exec.hpp"
+
+namespace coe::prof {
+
+Profiler::Node* Profiler::Node::child(const std::string& name) {
+  for (auto& c : children) {
+    if (c->name == name) return c.get();
+  }
+  auto node = std::make_unique<Node>();
+  node->name = name;
+  node->path = path.empty() ? name : path + "/" + name;
+  node->parent = this;
+  children.push_back(std::move(node));
+  return children.back().get();
+}
+
+Profiler::Node* Profiler::enter(const std::string& name) {
+  current_ = current_->child(name);
+  return current_;
+}
+
+void Profiler::leave(Node* n, double wall_s, double sim_s) {
+  n->calls++;
+  n->wall_s += wall_s;
+  n->sim_s += sim_s;
+  if (current_ == n && n->parent) current_ = n->parent;
+}
+
+namespace {
+
+void report_node(std::ostringstream& os, const Profiler::Node& n, int depth,
+                 double wall_total, double sim_total) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  const double wall_share = wall_total > 0 ? n.wall_s / wall_total : 0.0;
+  const double sim_share = sim_total > 0 ? n.sim_s / sim_total : 0.0;
+  os << std::left << std::setw(32) << ("  " + indent + n.name) << std::right
+     << std::setw(8) << n.calls << std::setw(13) << std::scientific
+     << std::setprecision(3) << n.wall_s << std::setw(13) << n.sim_s
+     << std::setw(9) << std::fixed << std::setprecision(1)
+     << 100.0 * wall_share << "%" << std::setw(9) << 100.0 * sim_share
+     << "%" << std::setw(9) << std::showpos << std::setprecision(1)
+     << 100.0 * (sim_share - wall_share) << std::noshowpos << "pp\n";
+  for (const auto& c : n.children) {
+    report_node(os, *c, depth + 1, wall_total, sim_total);
+  }
+}
+
+void node_totals(const Profiler::Node& n, double* wall, double* sim) {
+  *wall += n.wall_s;
+  *sim += n.sim_s;
+}
+
+obs::Json node_json(const Profiler::Node& n) {
+  obs::Json j = obs::Json::object();
+  j.set("name", obs::Json::string(n.name));
+  j.set("path", obs::Json::string(n.path));
+  j.set("calls", obs::Json::number(static_cast<double>(n.calls)));
+  j.set("wall_s", obs::Json::number(n.wall_s));
+  j.set("sim_s", obs::Json::number(n.sim_s));
+  obs::Json kids = obs::Json::array();
+  for (const auto& c : n.children) kids.push(node_json(*c));
+  j.set("children", std::move(kids));
+  return j;
+}
+
+}  // namespace
+
+std::string Profiler::report(const std::string& title) const {
+  // Shares are computed over the top-level spans only; children are a
+  // refinement of their parent's time, not additional time.
+  double wall_total = 0.0, sim_total = 0.0;
+  for (const auto& c : root_.children) {
+    node_totals(*c, &wall_total, &sim_total);
+  }
+  std::ostringstream os;
+  os << title << "\n";
+  os << std::left << std::setw(32) << "  span" << std::right << std::setw(8)
+     << "calls" << std::setw(13) << "wall (s)" << std::setw(13) << "sim (s)"
+     << std::setw(10) << "wall%" << std::setw(10) << "sim%" << std::setw(11)
+     << "skew\n";
+  for (const auto& c : root_.children) {
+    report_node(os, *c, 0, wall_total, sim_total);
+  }
+  return os.str();
+}
+
+obs::Json Profiler::to_json() const {
+  obs::Json spans = obs::Json::array();
+  for (const auto& c : root_.children) spans.push(node_json(*c));
+  return spans;
+}
+
+Scope::Scope(Profiler* profiler, core::ExecContext* ctx,
+             const std::string& name)
+    : profiler_(profiler), ctx_(ctx) {
+  if (!profiler_) return;
+  node_ = profiler_->enter(name);
+  if (ctx_) {
+    saved_phase_ = ctx_->phase();
+    ctx_->set_phase(node_->path);
+    sim0_ = ctx_->simulated_time();
+  }
+  t0_ = std::chrono::steady_clock::now();
+}
+
+Scope::~Scope() {
+  if (!profiler_) return;
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_)
+          .count();
+  double sim = 0.0;
+  if (ctx_) {
+    sim = ctx_->simulated_time() - sim0_;
+    ctx_->set_phase(saved_phase_);
+  }
+  profiler_->leave(node_, wall, sim);
+}
+
+}  // namespace coe::prof

@@ -1,0 +1,85 @@
+#pragma once
+// Hierarchical RAII phase spans. A prof::Scope marks a region of driver
+// code: it tags the ExecContext's timeline phase with its hierarchical
+// path (so trace events attribute to it), measures real wall time with a
+// steady clock, and accumulates the simulated-clock delta over the same
+// region. Nested scopes form a profile tree whose report compares each
+// region's share of wall time against its share of simulated time — the
+// per-region model-skew that says where the cost model disagrees with the
+// host it actually ran on.
+//
+// A Scope constructed with a null Profiler is a complete no-op (it does
+// not even touch the context's phase), so instrumented drivers behave
+// identically when profiling is off.
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace coe::core {
+class ExecContext;
+}
+
+namespace coe::prof {
+
+/// Tree of instrumented regions. Not thread-safe; one per driver thread.
+class Profiler {
+ public:
+  struct Node {
+    std::string name;
+    std::string path;  ///< "/"-joined ancestry, used as the timeline phase
+    std::uint64_t calls = 0;
+    double wall_s = 0.0;  ///< measured host seconds inside the region
+    double sim_s = 0.0;   ///< simulated seconds accrued inside the region
+    Node* parent = nullptr;
+    std::vector<std::unique_ptr<Node>> children;
+
+    Node* child(const std::string& name);
+  };
+
+  Profiler() { current_ = &root_; }
+
+  /// Descends into (creating if new) the named child of the current node.
+  Node* enter(const std::string& name);
+  /// Accumulates a completed span and pops back to the node's parent.
+  void leave(Node* n, double wall_s, double sim_s);
+
+  const Node& root() const { return root_; }
+  Node* current() { return current_; }
+  bool empty() const { return root_.children.empty(); }
+
+  /// Fixed-width per-region table: calls, wall, sim, and the wall-share vs
+  /// sim-share skew.
+  std::string report(const std::string& title) const;
+  /// Tree as JSON ({name, calls, wall_s, sim_s, children:[...]}).
+  obs::Json to_json() const;
+
+ private:
+  Node root_;
+  Node* current_ = nullptr;
+};
+
+/// RAII span. `profiler == nullptr` disables it entirely; `ctx` may also
+/// be null (wall time only — used by benches without a simulated context).
+class Scope {
+ public:
+  Scope(Profiler* profiler, core::ExecContext* ctx, const std::string& name);
+  ~Scope();
+
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Profiler* profiler_ = nullptr;
+  core::ExecContext* ctx_ = nullptr;
+  Profiler::Node* node_ = nullptr;
+  std::string saved_phase_;
+  double sim0_ = 0.0;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace coe::prof

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "prof/span.hpp"
+
 namespace coe::reaction {
 
 Monodomain::Monodomain(core::ExecContext& device, core::ExecContext& host,
@@ -26,27 +28,33 @@ void Monodomain::step() {
   const std::size_t nx = cfg_.nx, ny = cfg_.ny;
   const double coef = cfg_.diffusion / (cfg_.dx * cfg_.dx);
 
+  prof::Scope step_span(cfg_.profiler, device_, "cardioid_step");
   auto& dctx = diffusion_ctx();
-  if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
-    // Voltage field leaves the device and the Laplacian comes back.
-    device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
-                             false);
+  {
+    prof::Scope diff_span(cfg_.profiler, &dctx, "diffusion");
+    if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
+      // Voltage field leaves the device and the Laplacian comes back.
+      device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
+                               false);
+    }
+    // 5-point Laplacian with no-flux (mirrored) boundaries.
+    dctx.forall2(nx, ny, {8.0, 48.0}, [&](std::size_t i, std::size_t j) {
+      auto v = [&](std::size_t a, std::size_t b) {
+        return cells_[a * ny + b].v;
+      };
+      const double vim = v(i > 0 ? i - 1 : 1, j);
+      const double vip = v(i + 1 < nx ? i + 1 : nx - 2, j);
+      const double vjm = v(i, j > 0 ? j - 1 : 1);
+      const double vjp = v(i, j + 1 < ny ? j + 1 : ny - 2);
+      lap_[i * ny + j] =
+          coef * (vim + vip + vjm + vjp - 4.0 * v(i, j));
+    });
+    if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
+      device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
+                               true);
+    }
   }
-  // 5-point Laplacian with no-flux (mirrored) boundaries.
-  dctx.forall2(nx, ny, {8.0, 48.0}, [&](std::size_t i, std::size_t j) {
-    auto v = [&](std::size_t a, std::size_t b) {
-      return cells_[a * ny + b].v;
-    };
-    const double vim = v(i > 0 ? i - 1 : 1, j);
-    const double vip = v(i + 1 < nx ? i + 1 : nx - 2, j);
-    const double vjm = v(i, j > 0 ? j - 1 : 1);
-    const double vjp = v(i, j + 1 < ny ? j + 1 : ny - 2);
-    lap_[i * ny + j] =
-        coef * (vim + vip + vjm + vjp - 4.0 * v(i, j));
-  });
-  if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
-    device_->record_transfer(static_cast<double>(cells_.size()) * 8.0, true);
-  }
+  prof::Scope react_span(cfg_.profiler, device_, "reaction");
 
   // Voltage update from diffusion + stimulus (device resident), then the
   // reaction kernel (always on the device). Both touch only cell idx, so

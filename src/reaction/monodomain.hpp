@@ -14,6 +14,10 @@
 #include "core/exec.hpp"
 #include "reaction/membrane.hpp"
 
+namespace coe::prof {
+class Profiler;
+}
+
 namespace coe::reaction {
 
 enum class TissuePlacement { AllGpu, SplitCpuDiffusion };
@@ -31,6 +35,10 @@ struct TissueConfig {
   /// — the Cardioid fusion the paper reports. Per-cell arithmetic and its
   /// order are unchanged, so results are bitwise identical.
   bool fuse_reaction = false;
+  /// Optional span sink: when set, each step() wraps its stages in
+  /// "cardioid_step" / "diffusion" / "reaction" prof::Scope regions (and
+  /// tags the contexts' timeline phases accordingly).
+  prof::Profiler* profiler = nullptr;
 };
 
 class Monodomain {

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "prof/span.hpp"
+
 namespace coe::stencil {
 
 double PointSource::value(double t) const {
@@ -223,16 +225,24 @@ void WaveSolver::step(double dt) {
   // waits on it.
   const bool stream_offload =
       opts_.use_streams && !opts_.forcing_on_device && !sources_.empty();
+  prof::Scope step_span(opts_.profiler, ctx_, "wave_step");
   core::ExecContext::StreamEvent upload_done{};
   if (stream_offload) {
+    prof::Scope s(opts_.profiler, ctx_, "forcing_upload");
     ctx_->stream(1);
     ctx_->record_transfer(static_cast<double>(sources_.size()) * 16.0, true);
     upload_done = ctx_->record_event();
     ctx_->stream(0);
   }
-  apply_laplacian_and_update(dt);
-  if (stream_offload) ctx_->wait_event(upload_done);
-  apply_forcing(dt, /*skip_transfer=*/stream_offload);
+  {
+    prof::Scope s(opts_.profiler, ctx_, "stencil");
+    apply_laplacian_and_update(dt);
+  }
+  {
+    prof::Scope s(opts_.profiler, ctx_, "forcing");
+    if (stream_offload) ctx_->wait_event(upload_done);
+    apply_forcing(dt, /*skip_transfer=*/stream_offload);
+  }
   std::swap(u_prev_, u_);
   std::swap(u_, u_next_);
   t_ += dt;
@@ -243,6 +253,7 @@ void WaveSolver::step(double dt) {
     double& m = shake_[i * ny_ + j];
     if (v > m) m = v;
   };
+  prof::Scope shake_span(opts_.profiler, ctx_, "shake");
   if (opts_.use_streams) {
     // The shake map only reads the settled field, so on its own stream it
     // overlaps the NEXT step's stencil instead of extending the critical

@@ -22,6 +22,10 @@
 #include "core/machine.hpp"
 #include "resil/checkpoint.hpp"
 
+namespace coe::prof {
+class Profiler;
+}
+
 namespace coe::stencil {
 
 struct WaveOptions {
@@ -37,6 +41,10 @@ struct WaveOptions {
   /// of extending the critical path. Accounting-only — the numerics and
   /// their order are untouched, so fields are bitwise identical.
   bool use_streams = false;
+  /// Optional span sink: when set, each step() wraps its stages in
+  /// "wave_step" / "forcing_upload" / "stencil" / "forcing" / "shake"
+  /// prof::Scope regions.
+  prof::Profiler* profiler = nullptr;
 };
 
 /// A Ricker-like point source at a grid location.

@@ -1,11 +1,16 @@
-// Validates BENCH_*.json artifacts against the coe-bench-v1 schema
-// (DESIGN.md section 10.3). Usage:
+// Validates bench artifacts. Usage:
 //
-//   validate_bench_json BENCH_a.json [BENCH_b.json ...]
+//   validate_bench_json FILE.json [FILE2.json ...]
 //
-// Checks every file and reports per-file PASS/FAIL; exits nonzero if any
-// file fails. When a report references a trace file that exists next to
-// it, the trace is parsed and checked for a traceEvents array too.
+// Each file is dispatched by content: a "traceEvents" array is validated
+// as a Chrome trace (TRACE_*.json, including the otherData metadata
+// write_chrome_trace stamps), schema "coe-prof-v1" as a PROF_*.json
+// attribution document (including the phase percentage breakdowns summing
+// to 100), and schema "coe-bench-v1" as a bench report (DESIGN.md
+// section 10.3). Reports per-file PASS/FAIL; exits nonzero if any file
+// fails. When a bench report references a trace file that exists next to
+// it, the trace is parsed and checked too.
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -62,6 +67,42 @@ void check_machine(const Json& m, std::size_t i) {
   }
 }
 
+/// Validates an already-parsed Chrome trace document (TRACE_*.json).
+/// `where` labels errors. Checks the event array plus the otherData
+/// metadata write_chrome_trace stamps (dropped count, machine name).
+void check_trace_doc(const Json& t, const std::string& where) {
+  if (!t.contains("traceEvents") ||
+      t.at("traceEvents").type() != Json::Type::Array) {
+    return fail(where + " has no traceEvents array");
+  }
+  for (const Json& e : t.at("traceEvents").items()) {
+    if (e.type() != Json::Type::Object || !e.contains("ts") ||
+        !e.contains("name")) {
+      return fail(where + " has a malformed event");
+    }
+    const std::string ph = e.contains("ph") ? e.at("ph").as_string() : "X";
+    if (ph == "X" && !e.contains("dur")) {
+      return fail(where + " has a complete event without dur");
+    }
+  }
+  if (!t.contains("otherData") ||
+      t.at("otherData").type() != Json::Type::Object) {
+    return fail(where + " missing otherData metadata");
+  }
+  const Json& meta = t.at("otherData");
+  if (!meta.contains("dropped_events") ||
+      meta.at("dropped_events").type() != Json::Type::Number) {
+    fail(where + " otherData missing dropped_events");
+  }
+  if (!meta.contains("machine") ||
+      meta.at("machine").type() != Json::Type::String) {
+    fail(where + " otherData missing machine");
+  }
+  if (!meta.contains("launch_overhead_s")) {
+    fail(where + " otherData missing launch_overhead_s");
+  }
+}
+
 void check_trace_file(const std::string& path) {
   std::ifstream f(path);
   if (!f) return fail("trace file " + path + " not readable");
@@ -73,15 +114,109 @@ void check_trace_file(const std::string& path) {
   } catch (const std::exception& e) {
     return fail("trace file " + path + ": " + e.what());
   }
-  if (!t.contains("traceEvents") ||
-      t.at("traceEvents").type() != Json::Type::Array) {
-    return fail("trace file " + path + " has no traceEvents array");
-  }
-  for (const Json& e : t.at("traceEvents").items()) {
-    if (e.type() != Json::Type::Object || !e.contains("ts") ||
-        !e.contains("dur") || !e.contains("name")) {
-      return fail("trace file " + path + " has a malformed event");
+  check_trace_doc(t, "trace file " + path);
+}
+
+/// coe-prof-v1 (PROF_*.json): the critical-path attribution document.
+/// Beyond type checks this enforces the two invariants the report relies
+/// on: each phase's five-way percentage breakdown sums to 100 (when the
+/// phase has any time at all) and coverage = critical_s / window_s.
+void check_prof(const Json& root) {
+  for (const char* key : {"name", "machine"}) {
+    if (!root.contains(key) ||
+        root.at(key).type() != Json::Type::String) {
+      fail(std::string("missing string \"") + key + "\"");
     }
+  }
+  check_number(root, "launch_overhead_s");
+  check_number(root, "dropped_events");
+  check_number(root, "events");
+  check_number(root, "window_s");
+  check_number(root, "busy_s");
+  check_number(root, "critical_s");
+  check_number(root, "coverage");
+  check_number(root, "overlap_efficiency");
+  check_number(root, "critical_steps");
+  if (!root.contains("critical_edge_seconds") ||
+      root.at("critical_edge_seconds").type() != Json::Type::Object) {
+    fail("missing critical_edge_seconds object");
+  }
+  if (root.contains("window_s") && root.contains("critical_s") &&
+      root.contains("coverage") &&
+      root.at("window_s").type() == Json::Type::Number) {
+    const double w = root.at("window_s").as_number();
+    if (w > 0.0) {
+      const double want = root.at("critical_s").as_number() / w;
+      if (std::fabs(root.at("coverage").as_number() - want) > 1e-9) {
+        fail("coverage != critical_s / window_s");
+      }
+    }
+  }
+
+  if (!root.contains("streams") ||
+      root.at("streams").type() != Json::Type::Array) {
+    fail("missing streams array");
+  } else {
+    for (const Json& s : root.at("streams").items()) {
+      if (s.type() != Json::Type::Object || !s.contains("stream") ||
+          !s.contains("busy_s") || !s.contains("utilization")) {
+        fail("malformed stream entry");
+      }
+    }
+  }
+
+  if (!root.contains("phases") ||
+      root.at("phases").type() != Json::Type::Array) {
+    return fail("missing phases array");
+  }
+  const auto& phases = root.at("phases").items();
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const Json& p = phases[i];
+    const std::string where = "phases[" + std::to_string(i) + "]";
+    if (p.type() != Json::Type::Object || !p.contains("name")) {
+      fail(where + " malformed");
+      continue;
+    }
+    for (const char* key :
+         {"busy_s", "critical_s", "stall_s", "compute_s", "memory_s",
+          "launch_s", "transfer_s"}) {
+      check_number(p, key);
+    }
+    if (!p.contains("bound") ||
+        p.at("bound").type() != Json::Type::String) {
+      fail(where + " missing bound");
+    }
+    if (!p.contains("pct") || p.at("pct").type() != Json::Type::Object) {
+      fail(where + " missing pct object");
+      continue;
+    }
+    const Json& pct = p.at("pct");
+    double sum = 0.0;
+    bool have_all = true;
+    for (const char* key : {"compute", "memory", "launch", "transfer",
+                            "dependency_stall"}) {
+      if (!pct.contains(key) ||
+          pct.at(key).type() != Json::Type::Number) {
+        fail(where + ".pct missing " + key);
+        have_all = false;
+        continue;
+      }
+      sum += pct.at(key).as_number();
+    }
+    const double total = (p.contains("busy_s") && p.contains("stall_s"))
+                             ? p.at("busy_s").as_number() +
+                                   p.at("stall_s").as_number()
+                             : 0.0;
+    if (have_all && total > 0.0 && std::fabs(sum - 100.0) > 1e-6) {
+      fail(where + ".pct sums to " + std::to_string(sum) + ", not 100");
+    }
+  }
+
+  if (!root.contains("spans")) {
+    fail("missing spans (array or null)");
+  } else if (root.at("spans").type() != Json::Type::Null &&
+             root.at("spans").type() != Json::Type::Array) {
+    fail("spans is neither null nor an array");
   }
 }
 
@@ -99,6 +234,31 @@ bool validate(const std::string& path) {
     root = Json::parse(ss.str());
   } catch (const std::exception& e) {
     std::printf("FAIL %s: %s\n", path.c_str(), e.what());
+    return false;
+  }
+
+  // Dispatch by content: Chrome traces and prof documents get their own
+  // schema checks; everything else must be a coe-bench-v1 report.
+  if (root.type() == Json::Type::Object && root.contains("traceEvents")) {
+    check_trace_doc(root, path);
+    if (g_errors.empty()) {
+      std::printf("PASS %s (trace)\n", path.c_str());
+      return true;
+    }
+    std::printf("FAIL %s:\n", path.c_str());
+    for (const auto& e : g_errors) std::printf("  - %s\n", e.c_str());
+    return false;
+  }
+  if (root.type() == Json::Type::Object && root.contains("schema") &&
+      root.at("schema").type() == Json::Type::String &&
+      root.at("schema").as_string() == "coe-prof-v1") {
+    check_prof(root);
+    if (g_errors.empty()) {
+      std::printf("PASS %s (prof)\n", path.c_str());
+      return true;
+    }
+    std::printf("FAIL %s:\n", path.c_str());
+    for (const auto& e : g_errors) std::printf("  - %s\n", e.c_str());
     return false;
   }
 
@@ -149,6 +309,24 @@ bool validate(const std::string& path) {
     fail("trace is neither null nor an object");
   }
 
+  // "profile" (the PROF_ attribution pointer) is optional for backward
+  // compatibility with pre-prof baselines, but must be well-formed when
+  // present: null, or {path, critical_s, coverage}.
+  if (root.contains("profile") &&
+      root.at("profile").type() != Json::Type::Null) {
+    if (root.at("profile").type() != Json::Type::Object) {
+      fail("profile is neither null nor an object");
+    } else {
+      const Json& pr = root.at("profile");
+      check_number(pr, "critical_s");
+      check_number(pr, "coverage");
+      if (!pr.contains("path") ||
+          pr.at("path").type() != Json::Type::String) {
+        fail("profile.path missing");
+      }
+    }
+  }
+
   if (g_errors.empty()) {
     std::printf("PASS %s\n", path.c_str());
     return true;
@@ -162,7 +340,7 @@ bool validate(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH_*.json\n", argv[0]);
+    std::fprintf(stderr, "usage: %s BENCH_*.json [TRACE_*.json PROF_*.json ...]\n", argv[0]);
     return 2;
   }
   bool ok = true;
