@@ -1,0 +1,51 @@
+#pragma once
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven and
+// header-only. coe::resil uses it to fingerprint checkpoint generations so
+// a restore can refuse a corrupt blob; it is deliberately the real
+// algorithm (not a stand-in hash) so stored checksums are stable across
+// platforms and match external crc32 tools byte for byte.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace coe::core {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// CRC of `len` raw bytes. Pass a previous result as `seed` to checksum a
+/// buffer in chunks (crc32(b, n) == crc32(b+k, n-k, crc32(b, k))).
+inline std::uint32_t crc32(const void* data, std::size_t len,
+                           std::uint32_t seed = 0) {
+  const auto& table = detail::crc32_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+/// CRC over a double array's bit patterns (the checkpoint-blob case).
+inline std::uint32_t crc32(std::span<const double> v,
+                           std::uint32_t seed = 0) {
+  return crc32(v.data(), v.size() * sizeof(double), seed);
+}
+
+}  // namespace coe::core

@@ -1,0 +1,29 @@
+#pragma once
+// coe::guard — silent-error detection and containment, layered on
+// coe::resil (DESIGN.md §13). SdcInjector flips bits in live solver state
+// on a seeded clock; Detectors (exact checksum scrubs, ABFT residual
+// guards in la/, invariant/range monitors per app) validate the state
+// before each step consumes it; resil::run_resilient's verify hook turns a
+// trip into rollback-and-recompute from a CRC-verified checkpoint
+// generation. The wiring contract:
+//
+//   guard::SdcInjector inj(sdc_cfg);            // register sdc_targets()
+//   guard::DetectorSet det;                     // add detectors, arm once
+//   resil::ResilienceConfig cfg;
+//   cfg.verify_hook = [&](std::size_t) {
+//     inj.poll(ctx.simulated_time());           // corruption lands here...
+//     return det.check_all(ctx);                // ...and is checked here
+//   };
+//   cfg.on_rollback = [&](std::size_t) { det.arm_all(ctx); };
+//   cfg.corruption_count = [&] { return inj.injected(); };
+//   run_resilient(app, ctx, steps,
+//                 [&](std::size_t s) { app.step(); det.arm_all(ctx); },
+//                 cfg, &store);
+//
+// Reference-carrying detectors re-arm after every accepted step and after
+// every restore; the driver attributes each injected corruption as
+// contained (discarded by a rollback) or escaped (accepted by a passing
+// verification), giving the measured escape rate in ResilienceReport.
+
+#include "guard/detector.hpp"
+#include "guard/sdc.hpp"

@@ -138,6 +138,16 @@ std::vector<double> CsrMatrix::l1_row_sums() const {
   return d;
 }
 
+std::vector<double> CsrMatrix::column_sums() const {
+  std::vector<double> w(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = rowptr_[r]; k < rowptr_[r + 1]; ++k) {
+      w[colind_[k]] += values_[k];
+    }
+  }
+  return w;
+}
+
 CsrMatrix poisson2d(std::size_t nx, std::size_t ny) {
   const std::size_t n = nx * ny;
   std::vector<Triplet> t;

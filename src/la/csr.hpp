@@ -58,6 +58,10 @@ class CsrMatrix {
   /// Sum of absolute values per row (for l1-Jacobi smoothing).
   std::vector<double> l1_row_sums() const;
 
+  /// Per-column sums w = A^T e — the Huang–Abraham ABFT checksum vector:
+  /// for any x, e^T (A x) must equal w^T x (see la/abft.hpp).
+  std::vector<double> column_sums() const;
+
   /// Per-SpMV data traffic in bytes (for roofline reporting).
   double spmv_bytes() const {
     return static_cast<double>(nnz()) * (8.0 + 4.0 + 8.0) +

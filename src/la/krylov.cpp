@@ -1,5 +1,6 @@
 #include "la/krylov.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -82,6 +83,25 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
         rnorm = norm2(ctx, r);
       }
     }
+    bool restart = false;
+    if (opts.abft_every > 0 && it % opts.abft_every == 0) {
+      // ABFT residual guard: the recursion's rnorm must track the true
+      // residual. z is free here (fully rewritten by the precond stage).
+      prof::Scope s(opts.profiler, &ctx, "abft");
+      a.apply(ctx, x, ap);
+      axpby(ctx, 1.0, b, -1.0, ap, z);
+      const double tnorm = norm2(ctx, z);
+      ++res.abft_checks;
+      const double mismatch = std::abs(tnorm - rnorm);
+      if (!(mismatch <= opts.abft_tol * std::max(tnorm, rnorm))) {
+        // Adopt the recomputed residual and drop the (possibly corrupt)
+        // search direction; beta = 0 below restarts the recursion.
+        ++res.abft_trips;
+        copy(ctx, z, r);
+        rnorm = tnorm;
+        restart = true;
+      }
+    }
     res.iterations = it;
     res.final_residual = rnorm;
     if (done(opts, rnorm, r0)) {
@@ -103,7 +123,7 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
         rz_new = dot(ctx, r, z);
       }
     }
-    const double beta = rz_new / rz;
+    const double beta = restart ? 0.0 : rz_new / rz;
     rz = rz_new;
     {
       prof::Scope s(opts.profiler, &ctx, "blas1");

@@ -31,6 +31,17 @@ struct SolveOptions {
   /// "spmv" / "precond" / "blas1" children, so profiled benches get a
   /// per-stage predicted-vs-measured skew for the solver.
   prof::Profiler* profiler = nullptr;
+  /// CG only: ABFT residual guard. Every `abft_every` iterations (0:
+  /// never) the true residual b - A x is recomputed and compared against
+  /// the recursion's residual norm; a relative mismatch beyond `abft_tol`
+  /// counts as a trip, and the recursion restarts from the recomputed
+  /// residual — self-healing against silent corruption of the Krylov
+  /// vectors (the iterate itself is healed only insofar as CG re-converges;
+  /// bitwise recovery needs the guard/resil rollback path). The extra
+  /// SpMV + reductions are priced like any other work, so the detection
+  /// tax is visible in simulated time.
+  std::size_t abft_every = 0;
+  double abft_tol = 1e-6;
 };
 
 struct SolveResult {
@@ -38,6 +49,8 @@ struct SolveResult {
   std::size_t iterations = 0;
   double final_residual = 0.0;
   double initial_residual = 0.0;
+  std::size_t abft_checks = 0;  ///< true-residual recomputations performed
+  std::size_t abft_trips = 0;   ///< checks that forced a recursion restart
 };
 
 /// Preconditioned conjugate gradients. `x` holds the initial guess on entry

@@ -1,6 +1,7 @@
 #pragma once
 // Umbrella header for the linear-algebra substrate.
 
+#include "la/abft.hpp"
 #include "la/csr.hpp"
 #include "la/dense.hpp"
 #include "la/krylov.hpp"

@@ -14,6 +14,8 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -166,6 +168,37 @@ class Simulation : public resil::Checkpointable {
     info.kinetic = p_.kinetic_energy();
     info.pressure = pressure(p_, box_, info.virial);
     return info;
+  }
+
+  /// Priced |sum_i m_i v_i| — the conserved-momentum invariant coe::guard's
+  /// drift detector monitors (exactly conserved with the thermostat off,
+  /// near-stationary per step with Langevin at equilibrium).
+  double momentum_norm() {
+    auto& ctx = integration_ctx();
+    double p2 = 0.0;
+    for (const auto* v : {&p_.vx, &p_.vy, &p_.vz}) {
+      const auto& vel = *v;
+      const double c = ctx.reduce_sum(p_.n, {2.0, 16.0}, [&](std::size_t i) {
+        return p_.mass[i] * vel[i];
+      });
+      p2 += c * c;
+    }
+    return std::sqrt(p2);
+  }
+
+  /// Named views of the live particle arrays for SDC targeting and
+  /// checksum scrubbing (positions, velocities, forces — the state a bit
+  /// flip would silently propagate through the trajectory).
+  std::vector<std::pair<std::string, std::span<double>>> sdc_targets() {
+    return {{"md.x", std::span<double>(p_.x)},
+            {"md.y", std::span<double>(p_.y)},
+            {"md.z", std::span<double>(p_.z)},
+            {"md.vx", std::span<double>(p_.vx)},
+            {"md.vy", std::span<double>(p_.vy)},
+            {"md.vz", std::span<double>(p_.vz)},
+            {"md.fx", std::span<double>(p_.fx)},
+            {"md.fy", std::span<double>(p_.fy)},
+            {"md.fz", std::span<double>(p_.fz)}};
   }
 
   /// Checkpointable: the full dynamic state — positions, velocities,

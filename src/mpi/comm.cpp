@@ -6,6 +6,8 @@
 #include <string>
 #include <thread>
 
+#include "core/rng.hpp"
+
 namespace coe::mpi {
 
 namespace {
@@ -22,7 +24,8 @@ class World {
  public:
   World(int ranks, RunOptions opts)
       : ranks_(ranks), opts_(std::move(opts)),
-        ops_(static_cast<std::size_t>(ranks), 0), reduce_buf_() {}
+        ops_(static_cast<std::size_t>(ranks), 0),
+        retry_rng_(opts_.retry_seed), reduce_buf_() {}
 
   int size() const { return ranks_; }
 
@@ -131,19 +134,36 @@ class World {
   }
 
   /// Waits for pred, the abort flag, or the deadline — whichever first.
-  /// Caller holds lk.
+  /// An expired deadline is retried up to opts_.max_retries times with
+  /// exponential backoff and seeded jitter (each retry is a further wait
+  /// with a growing extension — the condition-variable analog of
+  /// re-issuing the operation) before CommTimeout is raised. Caller holds
+  /// lk; the jitter RNG is only touched under it.
   template <typename Pred>
   void wait_or_fail(std::unique_lock<std::mutex>& lk, Pred pred,
                     const std::string& what) {
-    const auto deadline = deadline_from(opts_.timeout_seconds);
-    const bool ok = cv_.wait_until(
-        lk, deadline, [&] { return aborted_ || pred(); });
-    if (aborted_ && !pred()) throw_peer_failure();
-    if (!ok) {
-      if (opts_.metrics) opts_.metrics->add("mpi.timeouts");
-      throw CommTimeout("timeout after " +
-                        std::to_string(opts_.timeout_seconds) + "s in " +
-                        what);
+    double waited = 0.0;
+    for (int attempt = 0;; ++attempt) {
+      double wait_s = opts_.timeout_seconds;
+      if (attempt > 0) {
+        const double scale = static_cast<double>(1 << (attempt - 1));
+        wait_s = opts_.retry_backoff_seconds * scale *
+                 (0.5 + retry_rng_.uniform());
+      }
+      const auto deadline = deadline_from(wait_s);
+      const bool ok = cv_.wait_until(
+          lk, deadline, [&] { return aborted_ || pred(); });
+      if (aborted_ && !pred()) throw_peer_failure();
+      if (ok) return;
+      waited += wait_s;
+      if (attempt >= opts_.max_retries) {
+        if (opts_.metrics) opts_.metrics->add("mpi.timeouts");
+        throw CommTimeout("timeout after " + std::to_string(waited) +
+                          "s (" + std::to_string(attempt) + " retries) in " +
+                          what);
+      }
+      ++stats_.retries;
+      if (opts_.metrics) opts_.metrics->add("mpi.retries");
     }
   }
 
@@ -156,6 +176,7 @@ class World {
   int ranks_;
   RunOptions opts_;
   std::vector<std::size_t> ops_;  ///< per-rank completed-operation counts
+  core::Rng retry_rng_;           ///< backoff jitter; guarded by mtx_
   std::mutex mtx_;
   std::condition_variable cv_;
   std::map<std::uint64_t, std::queue<std::vector<double>>> mail_;
@@ -249,6 +270,7 @@ TrafficStats run(int ranks, const RunOptions& opts,
     opts.metrics->add("mpi.bytes", s.bytes);
     opts.metrics->add("mpi.allreduces", static_cast<double>(s.allreduces));
     opts.metrics->add("mpi.barriers", static_cast<double>(s.barriers));
+    opts.metrics->add("mpi.total_retries", static_cast<double>(s.retries));
   }
   if (primary) std::rethrow_exception(primary);
   if (secondary) std::rethrow_exception(secondary);

@@ -16,6 +16,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
@@ -35,6 +36,7 @@ struct TrafficStats {
   double bytes = 0.0;
   std::size_t allreduces = 0;
   std::size_t barriers = 0;
+  std::size_t retries = 0;  ///< deadline expiries retried with backoff
 
   /// Prices the recorded traffic on a cluster model (sequentialized upper
   /// bound: every message pays alpha + beta * bytes).
@@ -59,15 +61,23 @@ struct RunOptions {
   /// Real-time deadline (seconds) for each blocking operation; expiry
   /// throws CommTimeout instead of hanging forever.
   double timeout_seconds = 30.0;
+  /// Deadline-retry policy: an expired wait is retried up to this many
+  /// times before CommTimeout is raised, each retry waiting an
+  /// exponentially growing extension (retry_backoff_seconds doubling per
+  /// attempt, with ±50% seeded jitter so ranks that timed out together do
+  /// not re-arm in lockstep). 0 restores fail-immediately behavior.
+  int max_retries = 2;
+  double retry_backoff_seconds = 0.05;
+  std::uint64_t retry_seed = 0x5eed;
   /// Fault-injection hook, consulted on every communicator operation with
   /// (rank, operations completed by that rank). Returning true raises
   /// resil::RankFailure inside that rank. Called concurrently from all
   /// rank threads — must be thread-safe (see resil::make_rank_fault_hook).
   std::function<bool(int, std::size_t)> fault_hook;
   /// Optional telemetry sink (not owned; must outlive run()). Publishes
-  /// "mpi.messages"/".bytes"/".allreduces"/".barriers" when the world
-  /// finishes, and "mpi.timeouts"/".rank_failures"/".peer_failures" as
-  /// they occur.
+  /// "mpi.messages"/".bytes"/".allreduces"/".barriers"/".retries" when the
+  /// world finishes, and "mpi.timeouts"/".rank_failures"/".peer_failures"
+  /// as they occur.
   obs::MetricsRegistry* metrics = nullptr;
 };
 

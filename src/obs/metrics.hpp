@@ -7,8 +7,10 @@
 // when unused is a null-pointer test.
 //
 // Naming convention: dotted lowercase paths scoped by subsystem, e.g.
-// "mpi.messages", "sched.requeues", "resil.checkpoint_bytes"; histogram
-// names carry a unit suffix ("sched.wait_s"). See DESIGN.md §10.
+// "mpi.messages", "sched.requeues", "resil.checkpoint_bytes",
+// "guard.checks"/"guard.trips" (plus "guard.<detector>.trips" per
+// detector); counters and accumulators that measure time carry a unit
+// suffix ("sched.wait_s", "guard.check_s"). See DESIGN.md §10.
 
 #include <cstdint>
 #include <limits>

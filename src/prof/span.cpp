@@ -99,7 +99,23 @@ Scope::Scope(Profiler* profiler, core::ExecContext* ctx,
              const std::string& name)
     : profiler_(profiler), ctx_(ctx) {
   if (!profiler_) return;
-  node_ = profiler_->enter(name);
+  // '/'-separated names open one level per segment so related spans from
+  // different call sites share an ancestor ("guard/scrub", "guard/abft").
+  std::size_t start = 0;
+  while (start <= name.size()) {
+    const std::size_t pos = name.find('/', start);
+    const std::size_t end = pos == std::string::npos ? name.size() : pos;
+    if (end > start) {
+      node_ = profiler_->enter(name.substr(start, end - start));
+      ++depth_;
+    }
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  if (depth_ == 0) {
+    node_ = profiler_->enter(name);
+    depth_ = 1;
+  }
   if (ctx_) {
     saved_phase_ = ctx_->phase();
     ctx_->set_phase(node_->path);
@@ -118,7 +134,14 @@ Scope::~Scope() {
     sim = ctx_->simulated_time() - sim0_;
     ctx_->set_phase(saved_phase_);
   }
-  profiler_->leave(node_, wall, sim);
+  // Attribute the region to every level of the entered chain (a parent's
+  // time includes its children's), popping one level per leave().
+  Profiler::Node* n = node_;
+  for (int i = 0; i < depth_ && n != nullptr; ++i) {
+    Profiler::Node* parent = n->parent;
+    profiler_->leave(n, wall, sim);
+    n = parent;
+  }
 }
 
 }  // namespace coe::prof

@@ -65,6 +65,9 @@ class Profiler {
 
 /// RAII span. `profiler == nullptr` disables it entirely; `ctx` may also
 /// be null (wall time only — used by benches without a simulated context).
+/// A name containing '/' opens one nested level per segment ("guard/scrub"
+/// groups every detector under a shared "guard" node), with the region's
+/// time attributed to every level of the chain.
 class Scope {
  public:
   Scope(Profiler* profiler, core::ExecContext* ctx, const std::string& name);
@@ -77,6 +80,7 @@ class Scope {
   Profiler* profiler_ = nullptr;
   core::ExecContext* ctx_ = nullptr;
   Profiler::Node* node_ = nullptr;
+  int depth_ = 0;  ///< levels entered ('/'-separated name segments)
   std::string saved_phase_;
   double sim0_ = 0.0;
   std::chrono::steady_clock::time_point t0_;

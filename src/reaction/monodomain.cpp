@@ -104,4 +104,10 @@ double Monodomain::excited_fraction(double threshold) const {
   return static_cast<double>(count) / static_cast<double>(cells_.size());
 }
 
+std::span<double> Monodomain::state_data() {
+  static_assert(sizeof(CellState) == 4 * sizeof(double),
+                "CellState must stay 4 packed doubles for the flat view");
+  return {reinterpret_cast<double*>(cells_.data()), cells_.size() * 4};
+}
+
 }  // namespace coe::reaction

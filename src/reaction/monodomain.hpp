@@ -9,6 +9,7 @@
 //  * SplitCpuDiffusion -- diffusion on the CPU overlapped with reaction on
 //    the GPU, paying a voltage-field round trip every step.
 
+#include <span>
 #include <vector>
 
 #include "core/exec.hpp"
@@ -61,6 +62,23 @@ class Monodomain {
   double max_voltage() const;
   /// Fraction of cells currently depolarized above the threshold.
   double excited_fraction(double threshold = 0.0) const;
+
+  /// Raw per-cell state as one flat double span, interleaved
+  /// [v, m, h, n] per cell — the SDC target and the input to coe::guard
+  /// range detectors (stride 4, offset 0..3 selects one component; see
+  /// the k*Lo/k*Hi physiological bounds below).
+  std::span<double> state_data();
+
+  // Physiological ranges for the HH state variables: v spans resting
+  // through spike overshoot with stimulus headroom; the gates are
+  // mathematically confined to [0, 1] (a small margin absorbs round-off).
+  // A bit flip that leaves a component inside its range escapes a range
+  // detector — by design; that residual escape rate is measured, not
+  // hidden.
+  static constexpr double kVoltageLo = -150.0;
+  static constexpr double kVoltageHi = 100.0;
+  static constexpr double kGateLo = -1e-3;
+  static constexpr double kGateHi = 1.0 + 1e-3;
 
   const TissueConfig& config() const { return cfg_; }
 

@@ -2,25 +2,65 @@
 
 #include <utility>
 
+#include "core/crc32.hpp"
+
 namespace coe::resil {
 
-void CheckpointStore::write(const std::string& key, std::size_t step,
-                            const Checkpointable& app,
-                            core::ExecContext& ctx) {
+namespace {
+
+/// Price the CRC pass over the blob: one streaming read plus table lookups
+/// (a few ops per byte) — small next to the transfer it validates, but
+/// nonzero so checkpoint integrity is not free.
+void charge_crc(core::ExecContext& ctx, double bytes) {
+  ctx.record_kernel({2.0 * bytes, bytes});
+}
+
+}  // namespace
+
+std::uint32_t CheckpointStore::payload_crc(const Checkpoint& ck) {
+  return core::crc32(std::span<const double>(ck.data));
+}
+
+void CheckpointStore::begin_write(const std::string& key, std::size_t step,
+                                  const Checkpointable& app,
+                                  core::ExecContext& ctx) {
   Checkpoint ck;
   ck.step = step;
   app.save_state(ck.data);
   const double bytes = static_cast<double>(ck.data.size()) * 8.0;
   ctx.record_transfer(bytes, /*to_device=*/false);
+  charge_crc(ctx, bytes);
+  ck.crc = payload_crc(ck);
+  pending_[key] = std::move(ck);
+}
+
+void CheckpointStore::commit_write(const std::string& key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
   stats_.writes += 1;
-  stats_.bytes_written += bytes;
+  stats_.bytes_written += static_cast<double>(it->second.data.size()) * 8.0;
   auto& slot = slots_[key];
   if (slot.size() < 2) {
-    slot.push_back(std::move(ck));
+    slot.push_back(std::move(it->second));
   } else {
     slot[0] = std::move(slot[1]);
-    slot[1] = std::move(ck);
+    slot[1] = std::move(it->second);
   }
+  pending_.erase(it);
+}
+
+void CheckpointStore::abort_write(const std::string& key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  stats_.aborted_writes += 1;
+  pending_.erase(it);
+}
+
+void CheckpointStore::write(const std::string& key, std::size_t step,
+                            const Checkpointable& app,
+                            core::ExecContext& ctx) {
+  begin_write(key, step, app, ctx);
+  commit_write(key);
 }
 
 const Checkpoint* CheckpointStore::latest(const std::string& key) const {
@@ -33,13 +73,42 @@ bool CheckpointStore::restore_latest(const std::string& key,
                                      Checkpointable& app,
                                      core::ExecContext& ctx,
                                      std::size_t* step) {
-  const Checkpoint* ck = latest(key);
-  if (ck == nullptr) return false;
-  ctx.record_transfer(static_cast<double>(ck->data.size()) * 8.0,
-                      /*to_device=*/true);
-  app.restore_state(ck->data);
-  stats_.restores += 1;
-  if (step != nullptr) *step = ck->step;
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return false;
+  auto& slot = it->second;
+  while (!slot.empty()) {
+    Checkpoint& ck = slot.back();
+    const double bytes = static_cast<double>(ck.data.size()) * 8.0;
+    charge_crc(ctx, bytes);
+    if (payload_crc(ck) != ck.crc) {
+      // Refuse and discard the corrupt generation; a later write refills
+      // the double buffer.
+      stats_.crc_failures += 1;
+      slot.pop_back();
+      stats_.fallbacks += !slot.empty();
+      continue;
+    }
+    ctx.record_transfer(bytes, /*to_device=*/true);
+    app.restore_state(ck.data);
+    stats_.restores += 1;
+    if (step != nullptr) *step = ck.step;
+    return true;
+  }
+  return false;
+}
+
+std::span<Checkpoint> CheckpointStore::generations(const std::string& key) {
+  auto it = slots_.find(key);
+  if (it == slots_.end()) return {};
+  return it->second;
+}
+
+bool CheckpointStore::verify_all() const {
+  for (const auto& [key, slot] : slots_) {
+    for (const auto& ck : slot) {
+      if (payload_crc(ck) != ck.crc) return false;
+    }
+  }
   return true;
 }
 

@@ -5,9 +5,19 @@
 // blobs in host memory and charges every write/restore to the machine model
 // through ExecContext::record_transfer, so checkpoint overhead shows up in
 // simulated time exactly like any other host<->device traffic.
+//
+// Integrity: every generation carries a CRC32 of its payload, verified at
+// restore time — a corrupt newest generation is refused and the restore
+// falls back to the double-buffered older one (silent corruption of a
+// checkpoint must not become silent corruption of the run). Writes follow
+// fsync-order discipline via the two-phase begin_write/commit_write pair: a
+// fault that lands mid-write aborts the pending blob, so the newest
+// *visible* generation is always complete and checksummed.
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,6 +52,7 @@ class Checkpointable {
 
 struct Checkpoint {
   std::size_t step = 0;
+  std::uint32_t crc = 0;  ///< CRC32 of `data`'s bit patterns, set at write
   std::vector<double> data;
 };
 
@@ -49,6 +60,9 @@ struct CheckpointStats {
   std::size_t writes = 0;
   std::size_t restores = 0;
   double bytes_written = 0.0;
+  std::size_t aborted_writes = 0;  ///< begun but never committed
+  std::size_t crc_failures = 0;    ///< generations refused at restore
+  std::size_t fallbacks = 0;       ///< restores served by an older generation
 };
 
 /// In-memory checkpoint store, keyed by application name; keeps the latest
@@ -57,23 +71,50 @@ struct CheckpointStats {
 class CheckpointStore {
  public:
   /// Serializes `app` under `key` as the state after `step` steps. The
-  /// device-to-host drain is charged to `ctx`.
+  /// device-to-host drain is charged to `ctx`. Equivalent to begin_write
+  /// immediately followed by commit_write — use the two-phase form when a
+  /// fault process can interrupt the write.
   void write(const std::string& key, std::size_t step,
              const Checkpointable& app, core::ExecContext& ctx);
 
-  /// Latest checkpoint for `key`, or nullptr.
+  /// Phase one: serialize, checksum, and charge the drain, but keep the
+  /// blob pending — the visible generations are untouched. A second
+  /// begin_write for the same key replaces the pending blob.
+  void begin_write(const std::string& key, std::size_t step,
+                   const Checkpointable& app, core::ExecContext& ctx);
+  /// Phase two: atomically publish the pending blob as the newest
+  /// generation (the "fsync" step). No-op if nothing is pending.
+  void commit_write(const std::string& key);
+  /// Discards the pending blob (fault during the write): the store is
+  /// exactly as it was before begin_write, newest generation intact.
+  void abort_write(const std::string& key);
+
+  /// Latest *visible* checkpoint for `key`, or nullptr. Does not verify.
   const Checkpoint* latest(const std::string& key) const;
 
-  /// Restores `app` from the latest checkpoint (charging the host-to-device
-  /// refill to `ctx`) and returns its step. Returns false if none exists.
+  /// Restores `app` from the newest generation whose CRC verifies
+  /// (charging the host-to-device refill to `ctx`) and returns its step.
+  /// Corrupt generations are counted, dropped, and skipped — falling back
+  /// to the older one. Returns false if no intact checkpoint exists.
   bool restore_latest(const std::string& key, Checkpointable& app,
                       core::ExecContext& ctx, std::size_t* step = nullptr);
+
+  /// Direct access to the stored generations, oldest first — how tests
+  /// and SDC injection corrupt checkpoint payloads in place.
+  std::span<Checkpoint> generations(const std::string& key);
+
+  /// Recomputes every visible generation's CRC; true when all match.
+  bool verify_all() const;
+
+  /// CRC32 of a checkpoint's current payload (compare against ck.crc).
+  static std::uint32_t payload_crc(const Checkpoint& ck);
 
   const CheckpointStats& stats() const { return stats_; }
 
  private:
   // [older, newer] per key.
   std::map<std::string, std::vector<Checkpoint>> slots_;
+  std::map<std::string, Checkpoint> pending_;
   CheckpointStats stats_;
 };
 

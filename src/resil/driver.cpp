@@ -1,5 +1,6 @@
 #include "resil/driver.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace coe::resil {
@@ -22,6 +23,7 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
   CheckpointStore local;
   if (store == nullptr) store = &local;
   const std::string key = "run_resilient";
+  const std::size_t verify_every = std::max<std::size_t>(1, cfg.verify_every);
 
   ResilienceReport rep;
   rep.steps = steps;
@@ -33,6 +35,30 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
   const double t0 = ctx.simulated_time();
   auto elapsed = [&] { return ctx.simulated_time() - t0; };
 
+  // Containment ledger: corruptions injected since the last point the
+  // state was known good. A passing verification accepts them (escaped); a
+  // rollback discards them (contained).
+  std::size_t clean_mark = cfg.corruption_count ? cfg.corruption_count() : 0;
+  auto settle = [&](std::size_t* bucket) {
+    if (!cfg.corruption_count) return;
+    const std::size_t seen = cfg.corruption_count();
+    *bucket += seen - clean_mark;
+    clean_mark = seen;
+  };
+
+  auto verify = [&](std::size_t s) {
+    ++rep.verifications;
+    const double before = ctx.simulated_time();
+    const bool ok = cfg.verify_hook(s);
+    rep.verify_time += ctx.simulated_time() - before;
+    if (!ok) {
+      ++rep.detections;
+      return false;
+    }
+    settle(&rep.corruptions_escaped);
+    return true;
+  };
+
   // Recovery baseline: without a step-0 checkpoint an early fault would
   // have nothing to restart from.
   store->write(key, 0, app, ctx);
@@ -43,9 +69,57 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
   FaultInjector faults(cfg.mtbf, cfg.seed);
   std::size_t high_water = 0;  // distinct steps completed at least once
   std::size_t s = 0;
-  while (s < steps) {
+  std::size_t since_verify = 0;  // steps since the state was last verified
+  bool aborted = false;
+
+  // Restores the newest intact generation (CRC-verified, falling back to
+  // the older one) and rewinds the step cursor. False when no intact
+  // checkpoint remains — the run is unrecoverable.
+  auto rollback = [&](double now) {
+    const std::size_t crc_before = store->stats().crc_failures;
+    std::size_t ck_step = 0;
+    const bool ok = store->restore_latest(key, app, ctx, &ck_step);
+    rep.checkpoint_crc_failures += store->stats().crc_failures - crc_before;
+    if (!ok) return false;
+    settle(&rep.corruptions_contained);
+    if (cfg.on_rollback) cfg.on_rollback(ck_step);
+    rep.wasted_time += now - last_ck_elapsed;
+    s = ck_step;
+    since_verify = 0;  // the restored state is known good
+    return true;
+  };
+  auto detect_and_rollback = [&] {
+    ++rep.rollbacks;
+    if (rep.rollbacks > cfg.max_rollbacks) return false;
+    return rollback(elapsed());
+  };
+
+  while (true) {
+    if (s >= steps) {
+      // Final gate: a run must never report success on unverified state.
+      if (!cfg.verify_hook || verify(s)) break;
+      if (!detect_and_rollback()) {
+        aborted = true;
+        break;
+      }
+      continue;
+    }
+
+    // Validate the state before the step consumes it, so detected
+    // corruption is rolled back instead of propagated.
+    if (cfg.verify_hook && since_verify >= verify_every) {
+      since_verify = 0;
+      // On a successful rollback execution falls through: the restored
+      // state is known good and `s` now points at the restored step.
+      if (!verify(s) && !detect_and_rollback()) {
+        aborted = true;
+        break;
+      }
+    }
+
     do_step(s);
     ++rep.steps_executed;
+    ++since_verify;
     if (s < high_water) {
       ++rep.steps_replayed;
     } else {
@@ -55,26 +129,53 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
     const double now = elapsed();
     if (faults.fire(now)) {
       ++rep.faults;
-      if (rep.faults > cfg.max_faults) break;
-      std::size_t ck_step = 0;
-      store->restore_latest(key, app, ctx, &ck_step);
-      rep.wasted_time += now - last_ck_elapsed;
-      s = ck_step;
+      if (rep.faults > cfg.max_faults || !rollback(now)) {
+        aborted = true;
+        break;
+      }
       continue;
     }
 
     ++s;
     if (s < steps && now - last_ck_elapsed >= rep.interval) {
+      // A checkpoint must never capture unverified state: a corrupt blob
+      // with a valid CRC would be faithfully restored forever after.
+      if (cfg.verify_hook && since_verify > 0) {
+        since_verify = 0;
+        if (!verify(s)) {
+          if (!detect_and_rollback()) {
+            aborted = true;
+            break;
+          }
+          continue;
+        }
+      }
       const double before = ctx.simulated_time();
-      store->write(key, s, app, ctx);
+      store->begin_write(key, s, app, ctx);
+      // fsync-order discipline: a fault landing while the write drains
+      // aborts the pending generation — the newest visible checkpoint is
+      // always complete — and recovery proceeds from it.
+      if (faults.fire(elapsed())) {
+        store->abort_write(key);
+        ++rep.checkpoint_aborts;
+        rep.checkpoint_time += ctx.simulated_time() - before;
+        ++rep.faults;
+        if (rep.faults > cfg.max_faults || !rollback(elapsed())) {
+          aborted = true;
+          break;
+        }
+        continue;
+      }
+      store->commit_write(key);
       ++rep.checkpoints;
       rep.checkpoint_time += ctx.simulated_time() - before;
       last_ck_elapsed = elapsed();
     }
   }
 
-  rep.completed = s >= steps;
+  rep.completed = !aborted && s >= steps;
   rep.total_time = elapsed();
+  if (cfg.corruption_count) rep.corruptions_seen = cfg.corruption_count();
   if (cfg.metrics) {
     cfg.metrics->add("resil.faults", static_cast<double>(rep.faults));
     cfg.metrics->add("resil.checkpoints",
@@ -85,6 +186,19 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
                      static_cast<double>(rep.steps_replayed));
     cfg.metrics->add("resil.wasted_s", rep.wasted_time);
     cfg.metrics->add("resil.checkpoint_s", rep.checkpoint_time);
+    if (cfg.verify_hook) {
+      cfg.metrics->add("resil.verifications",
+                       static_cast<double>(rep.verifications));
+      cfg.metrics->add("resil.detections",
+                       static_cast<double>(rep.detections));
+      cfg.metrics->add("resil.rollbacks",
+                       static_cast<double>(rep.rollbacks));
+      cfg.metrics->add("resil.escapes",
+                       static_cast<double>(rep.corruptions_escaped));
+      cfg.metrics->add("resil.checkpoint_aborts",
+                       static_cast<double>(rep.checkpoint_aborts));
+      cfg.metrics->add("resil.verify_s", rep.verify_time);
+    }
   }
   return rep;
 }

@@ -6,6 +6,16 @@
 // modeled checkpoint cost C, so the machine model closes the loop: slower
 // links -> dearer checkpoints -> sparser checkpointing -> more re-executed
 // work per fault.
+//
+// Silent-error containment (coe::guard integration): an optional verify
+// hook validates the state before each step consumes it, before every
+// checkpoint is written (a checkpoint must never capture unverified
+// state), and after the final step (a run must never report success with a
+// corrupt answer). A failed verification — a tripped detector — triggers
+// the same rollback-and-recompute as a fail-stop fault, and the report
+// attributes every injected corruption as contained (discarded by a
+// rollback) or escaped (accepted by a passing verification): the measured
+// escape rate of DESIGN.md §13.
 
 #include <cstddef>
 #include <cstdint>
@@ -25,9 +35,29 @@ struct ResilienceConfig {
   std::size_t max_faults = 100000;   ///< abort the run past this many
   /// Optional telemetry sink (not owned; must outlive run_resilient()).
   /// Publishes "resil.faults"/".checkpoints"/".checkpoint_bytes"/
-  /// ".steps_replayed" counters and "resil.wasted_s"/".checkpoint_s"
-  /// accumulators when the run finishes.
+  /// ".steps_replayed"/".detections"/".rollbacks"/".escapes" counters and
+  /// "resil.wasted_s"/".checkpoint_s"/".verify_s" accumulators when the
+  /// run finishes.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Silent-error verification hook, called with the index of the next
+  /// step to execute. Invoked every `verify_every` steps before the step
+  /// consumes the state, immediately before each checkpoint write, and
+  /// once after the final step. Return false to report detected
+  /// corruption: the driver restores the newest intact checkpoint and
+  /// recomputes forward. Bind guard::SdcInjector::poll +
+  /// guard::DetectorSet::check_all here (see guard/guard.hpp).
+  std::function<bool(std::size_t)> verify_hook;
+  std::size_t verify_every = 1;  ///< steps between verifications (>= 1)
+  /// Called with the restored step after every restore (fail-stop or
+  /// detection), so reference-carrying detectors can re-arm against the
+  /// restored state.
+  std::function<void(std::size_t)> on_rollback;
+  /// Monotone count of corruptions injected so far (bind
+  /// guard::SdcInjector::injected). When set, the report classifies every
+  /// corruption as contained or escaped.
+  std::function<std::size_t()> corruption_count;
+  std::size_t max_rollbacks = 100000;  ///< abort past this many detections
 };
 
 struct ResilienceReport {
@@ -42,6 +72,24 @@ struct ResilienceReport {
   double total_time = 0.0;       ///< simulated s for the whole run
   double wasted_time = 0.0;      ///< simulated s of discarded work
   double checkpoint_time = 0.0;  ///< simulated s spent writing checkpoints
+
+  // Silent-error containment (populated when verify_hook is set).
+  std::size_t verifications = 0;
+  std::size_t detections = 0;  ///< verifications that tripped
+  std::size_t rollbacks = 0;   ///< restores triggered by detections
+  std::size_t corruptions_seen = 0;       ///< injected (corruption_count)
+  std::size_t corruptions_contained = 0;  ///< discarded by a rollback
+  std::size_t corruptions_escaped = 0;    ///< accepted by a passing verify
+  std::size_t checkpoint_aborts = 0;  ///< writes abandoned to a mid-write fault
+  std::size_t checkpoint_crc_failures = 0;  ///< generations refused at restore
+  double verify_time = 0.0;  ///< simulated s inside the verify hook
+
+  /// Fraction of injected corruptions the guards failed to contain.
+  double escape_rate() const {
+    return corruptions_seen > 0 ? static_cast<double>(corruptions_escaped) /
+                                      static_cast<double>(corruptions_seen)
+                                : 0.0;
+  }
 
   double overhead() const {
     const double useful = total_time - wasted_time - checkpoint_time;
@@ -64,6 +112,9 @@ double modeled_checkpoint_cost(const Checkpointable& app,
 /// bitwise identical to a fault-free run (enforced by tests); the price of
 /// the faults is visible in ctx's simulated time and the report. An
 /// external `store` may be supplied to inspect checkpoints afterwards.
+/// Checkpoint writes are two-phase: a fault arriving mid-write aborts the
+/// pending generation, never leaving a partial blob as the newest visible
+/// one.
 ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
                                std::size_t steps,
                                const std::function<void(std::size_t)>& do_step,

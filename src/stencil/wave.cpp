@@ -139,7 +139,6 @@ void WaveSolver::fill_ghosts() {
 }
 
 void WaveSolver::apply_laplacian_and_update(double dt) {
-  fill_ghosts();
   const double c0 = -30.0 / 12.0, c1 = 16.0 / 12.0, c2 = -1.0 / 12.0;
   const double ih2 = 1.0 / (h_ * h_);
   const double cdt2_const = c_ * c_ * dt * dt;
@@ -245,6 +244,12 @@ void WaveSolver::step(double dt) {
   }
   std::swap(u_prev_, u_);
   std::swap(u_, u_next_);
+  // Refresh the ghost shell of the field that just rotated in. Doing this at
+  // the end of the step (rather than at the start of the stencil) keeps the
+  // logical state Markov: u's ghosts are always a function of its own
+  // interior, never stale bytes inherited from the scratch buffer's previous
+  // rotation. Checkpoint/restore plus replay is then bitwise reproducible.
+  fill_ghosts();
   t_ += dt;
   ++steps_;
   // Track the surface (k = 0 plane) shake map.
@@ -282,6 +287,20 @@ double WaveSolver::max_abs() const {
     }
   }
   return m;
+}
+
+double WaveSolver::field_norm2() {
+  auto& u = u_;
+  auto& up = u_prev_;
+  return ctx_->reduce_sum(u.size(), {4.0, 16.0}, [&](std::size_t i) {
+    return u[i] * u[i] + up[i] * up[i];
+  });
+}
+
+std::vector<std::pair<std::string, std::span<double>>>
+WaveSolver::sdc_targets() {
+  return {{"wave.u", std::span<double>(u_)},
+          {"wave.u_prev", std::span<double>(u_prev_)}};
 }
 
 void WaveSolver::save_state(std::vector<double>& out) const {

@@ -15,6 +15,9 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/exec.hpp"
@@ -93,6 +96,15 @@ class WaveSolver : public resil::Checkpointable {
   double at(std::size_t i, std::size_t j, std::size_t k) const;
   /// Max |u| over the grid.
   double max_abs() const;
+  /// Priced ||u||^2 + ||u_prev||^2 over the ghosted arrays — the energy
+  /// proxy coe::guard's drift/bound detectors monitor (a flipped exponent
+  /// bit anywhere in the leapfrog state moves it violently; legitimate
+  /// per-step evolution moves it smoothly).
+  double field_norm2();
+  /// Named views of the live leapfrog state (u, u_prev) for SDC targeting
+  /// and checksum scrubbing. u_next/lap are per-step scratch — corruption
+  /// there dies at the next step, so they are not exposed.
+  std::vector<std::pair<std::string, std::span<double>>> sdc_targets();
   /// Surface slice |u| maxima over time -- the "shake map" (Figure 7).
   std::span<const double> shake_map() const { return shake_; }
 
@@ -102,6 +114,9 @@ class WaveSolver : public resil::Checkpointable {
 
   /// Checkpointable: the leapfrog state (u, u_prev), the shake map, and
   /// the clock. Sources and material fields are configuration, not state.
+  /// step() refreshes u's ghost shell after the buffer rotation, so the
+  /// saved blob is Markov — restore + replay is bitwise reproducible even
+  /// though the scratch buffer is not captured.
   void save_state(std::vector<double>& out) const override;
   void restore_state(const std::vector<double>& in) override;
 

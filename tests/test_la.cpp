@@ -309,6 +309,31 @@ TEST(Smoothers, L1JacobiConvergesUnweighted) {
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(r[i], b[i], 1e-3);
 }
 
+TEST(Abft, ChecksumVectorIsExactColumnSums) {
+  // w = A^T e on a small asymmetric rectangular matrix, checked against
+  // hand-computed column sums (exact: each column sum is a short sum of
+  // representable values).
+  auto a = la::CsrMatrix::from_triplets(
+      3, 4,
+      {{0, 0, 2.0}, {0, 2, -1.5}, {1, 1, 4.0}, {1, 2, 0.5}, {2, 0, 1.0},
+       {2, 3, -3.0}});
+  la::AbftCsrOperator op(a);
+  auto w = op.checksum();
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_DOUBLE_EQ(w[0], 3.0);   // 2 + 1
+  EXPECT_DOUBLE_EQ(w[1], 4.0);
+  EXPECT_DOUBLE_EQ(w[2], -1.0);  // -1.5 + 0.5
+  EXPECT_DOUBLE_EQ(w[3], -3.0);
+
+  // Clean applies satisfy the Huang–Abraham identity within tolerance.
+  auto ctx = core::make_seq();
+  std::vector<double> x{1.0, -2.0, 3.0, 0.25}, y(3);
+  op.apply(ctx, x, y);
+  EXPECT_EQ(op.checks(), 1u);
+  EXPECT_EQ(op.trips(), 0u);
+  EXPECT_LT(op.last_relative_error(), 1e-12);
+}
+
 TEST(VectorOps, BasicIdentities) {
   auto ctx = core::make_seq();
   std::vector<double> x{1, 2, 3}, y{4, 5, 6}, z(3);

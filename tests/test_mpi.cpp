@@ -6,8 +6,10 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "mpi/comm.hpp"
+#include "obs/metrics.hpp"
 #include "resil/fault.hpp"
 #include "stencil/distributed.hpp"
 #include "stencil/wave.hpp"
@@ -221,6 +223,50 @@ TEST(MpiFailure, MismatchedTagRecvTimesOutInsteadOfHanging) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   EXPECT_LT(elapsed, 10.0);
+}
+
+TEST(MpiFailure, DeadlineRetriesBackOffThenSurfaceTimeout) {
+  // A recv with no matching send exhausts every backoff retry before the
+  // CommTimeout surfaces, and the retries are visible in the metrics.
+  mpi::RunOptions opts;
+  opts.timeout_seconds = 0.05;
+  opts.max_retries = 3;
+  opts.retry_backoff_seconds = 0.02;
+  obs::MetricsRegistry metrics;
+  opts.metrics = &metrics;
+  EXPECT_THROW(mpi::run(2, opts,
+                        [](mpi::Communicator& comm) {
+                          if (comm.rank() == 1) (void)comm.recv(0, 77);
+                        }),
+               mpi::CommTimeout);
+  EXPECT_DOUBLE_EQ(metrics.counter("mpi.retries"), 3.0);
+  EXPECT_DOUBLE_EQ(metrics.counter("mpi.timeouts"), 1.0);
+}
+
+TEST(MpiFailure, LateSenderIsAbsorbedByRetries) {
+  // The sender shows up well after the receiver's first deadline: the
+  // exponential backoff keeps re-arming the wait until the message lands,
+  // so the operation succeeds instead of raising CommTimeout.
+  mpi::RunOptions opts;
+  opts.timeout_seconds = 0.02;
+  opts.max_retries = 10;
+  opts.retry_backoff_seconds = 0.02;
+  obs::MetricsRegistry metrics;
+  opts.metrics = &metrics;
+  double got = 0.0;
+  auto stats = mpi::run(2, opts, [&](mpi::Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(120));
+      comm.send(1, 5, {9.25});
+    } else {
+      got = comm.recv(0, 5)[0];
+    }
+  });
+  EXPECT_DOUBLE_EQ(got, 9.25);
+  EXPECT_GT(stats.retries, 0u);
+  EXPECT_DOUBLE_EQ(metrics.counter("mpi.retries"),
+                   static_cast<double>(stats.retries));
+  EXPECT_DOUBLE_EQ(metrics.counter("mpi.timeouts"), 0.0);
 }
 
 TEST(MpiFailure, InjectedRankFailurePropagatesOutOfRun) {

@@ -292,6 +292,226 @@ TEST(RunResilient, YoungDalyIntervalBeatsTenXEitherWay) {
   EXPECT_LT(t_yd, t_long);
 }
 
+TEST(CheckpointStore, FsyncOrderAbortLeavesVisibleGenerationsUntouched) {
+  // Regression for the fsync-order discipline: a begun-but-aborted write
+  // must leave the visible generations exactly as they were, and only a
+  // commit may publish the pending blob.
+  auto ctx = core::make_device();
+  Blob b;
+  b.v.assign(16, 1.0);
+  resil::CheckpointStore store;
+  store.write("b", 3, b, ctx);
+  const std::uint32_t crc_before = store.latest("b")->crc;
+
+  b.v.assign(16, 2.0);
+  store.begin_write("b", 7, b, ctx);
+  // Pending blob is invisible: newest generation is still step 3.
+  ASSERT_NE(store.latest("b"), nullptr);
+  EXPECT_EQ(store.latest("b")->step, 3u);
+  EXPECT_EQ(store.latest("b")->crc, crc_before);
+
+  store.abort_write("b");  // fault mid-write
+  EXPECT_EQ(store.latest("b")->step, 3u);
+  EXPECT_EQ(store.latest("b")->crc, crc_before);
+  EXPECT_EQ(store.stats().aborted_writes, 1u);
+  EXPECT_TRUE(store.verify_all());
+
+  // A clean two-phase write does publish.
+  b.v.assign(16, 4.0);
+  store.begin_write("b", 9, b, ctx);
+  store.commit_write("b");
+  EXPECT_EQ(store.latest("b")->step, 9u);
+  EXPECT_TRUE(store.verify_all());
+  // Restore serves the committed state, not the aborted one.
+  Blob r;
+  r.v.assign(16, 0.0);
+  std::size_t step = 0;
+  ASSERT_TRUE(store.restore_latest("b", r, ctx, &step));
+  EXPECT_EQ(step, 9u);
+  EXPECT_DOUBLE_EQ(r.v[0], 4.0);
+}
+
+TEST(RunResilient, MidWriteFaultAbortsPendingCheckpointAndStaysBitwise) {
+  // Drive the fault process until a fault lands inside a checkpoint write
+  // window; the driver must abort the pending generation (never exposing a
+  // partial blob) and still finish bitwise-exact.
+  auto build = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 8, 8, 8, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, 0.01);
+    return w;
+  };
+  auto ctx_ref = core::make_device();
+  auto w_ref = build(ctx_ref);
+  const std::size_t steps = 40;
+  for (std::size_t s = 0; s < steps; ++s) w_ref.step(0.01);
+  std::vector<double> ref;
+  w_ref.save_state(ref);
+
+  bool seen_abort = false;
+  for (std::uint64_t seed = 1; seed <= 64 && !seen_abort; ++seed) {
+    auto ctx = core::make_device();
+    auto w = build(ctx);
+    resil::ResilienceConfig cfg;
+    cfg.mtbf = 1e-4;
+    cfg.seed = seed;
+    resil::CheckpointStore store;
+    auto rep = resil::run_resilient(
+        w, ctx, steps, [&](std::size_t) { w.step(0.01); }, cfg, &store);
+    ASSERT_TRUE(rep.completed);
+    std::vector<double> got;
+    w.save_state(got);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got[i], ref[i]) << "seed " << seed << " blob index " << i;
+    }
+    if (rep.checkpoint_aborts > 0) {
+      seen_abort = true;
+      EXPECT_EQ(store.stats().aborted_writes, rep.checkpoint_aborts);
+      EXPECT_TRUE(store.verify_all());
+    }
+  }
+  EXPECT_TRUE(seen_abort) << "no seed produced a mid-write fault";
+}
+
+TEST(RunResilient, ZeroIntervalFallsBackToYoungDaly) {
+  auto ctx = core::make_device();
+  auto w = stencil::WaveSolver(ctx, 8, 8, 8, 1.0, 1.0, {});
+  resil::ResilienceConfig cfg;
+  cfg.mtbf = 0.01;
+  cfg.checkpoint_interval = 0.0;  // <= 0 selects the Young/Daly optimum
+  auto rep = resil::run_resilient(
+      w, ctx, 10, [&](std::size_t) { w.step(0.01); }, cfg);
+  EXPECT_TRUE(rep.completed);
+  EXPECT_GT(rep.checkpoint_cost, 0.0);
+  EXPECT_DOUBLE_EQ(rep.interval,
+                   resil::young_daly_interval(cfg.mtbf, rep.checkpoint_cost));
+}
+
+TEST(RunResilient, TinyIntervalCheckpointsEveryStepBitwise) {
+  auto build = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 8, 8, 8, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, 0.01);
+    return w;
+  };
+  auto ctx_ref = core::make_device();
+  auto w_ref = build(ctx_ref);
+  const std::size_t steps = 20;
+  for (std::size_t s = 0; s < steps; ++s) w_ref.step(0.01);
+  std::vector<double> ref;
+  w_ref.save_state(ref);
+
+  auto ctx = core::make_device();
+  auto w = build(ctx);
+  resil::ResilienceConfig cfg;
+  cfg.checkpoint_interval = 1e-300;  // denser than any step: every step
+  auto rep = resil::run_resilient(
+      w, ctx, steps, [&](std::size_t) { w.step(0.01); }, cfg);
+  EXPECT_TRUE(rep.completed);
+  // Baseline at step 0 plus one after every step except the last (the
+  // driver never checkpoints state no further step will consume).
+  EXPECT_EQ(rep.checkpoints, steps);
+  std::vector<double> got;
+  w.save_state(got);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << "blob index " << i;
+  }
+}
+
+TEST(RunResilient, FaultBetweenDetectionAndRollbackStaysBitwise) {
+  // Detections and fail-stop faults interleave: a fault can fire during
+  // the recovery a tripped detector triggered. Both recovery paths must
+  // compose without losing the bitwise guarantee.
+  auto build = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 8, 8, 8, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(2.0 * M_PI * y) *
+                 std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, 0.01);
+    return w;
+  };
+  auto ctx_ref = core::make_device();
+  auto w_ref = build(ctx_ref);
+  const std::size_t steps = 40;
+  for (std::size_t s = 0; s < steps; ++s) w_ref.step(0.01);
+  std::vector<double> ref;
+  w_ref.save_state(ref);
+
+  auto ctx = core::make_device();
+  auto w = build(ctx);
+  resil::ResilienceConfig cfg;
+  cfg.mtbf = 1e-4;  // aggressive fail-stop process
+  cfg.seed = 11;
+  cfg.checkpoint_interval = 1e-300;
+  std::size_t calls = 0;
+  cfg.verify_hook = [&](std::size_t) { return ++calls % 5 != 0; };
+  auto rep = resil::run_resilient(
+      w, ctx, steps, [&](std::size_t) { w.step(0.01); }, cfg);
+  ASSERT_TRUE(rep.completed);
+  EXPECT_GT(rep.faults, 0u);
+  EXPECT_GT(rep.detections, 0u);
+  EXPECT_GT(rep.rollbacks, 0u);
+  std::vector<double> got;
+  w.save_state(got);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << "blob index " << i;
+  }
+}
+
+TEST(RunResilient, FalsePositiveDetectorIsBitwiseHarmless) {
+  // A detector that trips with no corruption present costs time but must
+  // not change the answer: rollback restores exactly the state the run
+  // already had, and replay regenerates the same trajectory.
+  auto build = [](core::ExecContext& ctx) {
+    stencil::WaveSolver w(ctx, 8, 8, 8, 1.0, 1.0, {});
+    w.set_initial(
+        [](double x, double y, double z) {
+          return std::sin(M_PI * x) * std::sin(M_PI * y) * std::sin(M_PI * z);
+        },
+        [](double, double, double) { return 0.0; }, 0.01);
+    return w;
+  };
+  auto ctx_ref = core::make_device();
+  auto w_ref = build(ctx_ref);
+  const std::size_t steps = 30;
+  for (std::size_t s = 0; s < steps; ++s) w_ref.step(0.01);
+  std::vector<double> ref;
+  w_ref.save_state(ref);
+
+  auto ctx = core::make_device();
+  auto w = build(ctx);
+  resil::ResilienceConfig cfg;
+  cfg.checkpoint_interval = 1e-300;
+  std::size_t calls = 0;
+  cfg.verify_hook = [&](std::size_t) { return ++calls % 7 != 0; };
+  cfg.corruption_count = [] { return std::size_t{0}; };
+  auto rep = resil::run_resilient(
+      w, ctx, steps, [&](std::size_t) { w.step(0.01); }, cfg);
+  ASSERT_TRUE(rep.completed);
+  EXPECT_GT(rep.rollbacks, 0u);
+  EXPECT_EQ(rep.corruptions_seen, 0u);
+  EXPECT_EQ(rep.corruptions_contained, 0u);
+  EXPECT_EQ(rep.corruptions_escaped, 0u);
+  EXPECT_GT(rep.wasted_time, 0.0);
+  std::vector<double> got;
+  w.save_state(got);
+  ASSERT_EQ(got.size(), ref.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i], ref[i]) << "blob index " << i;
+  }
+}
+
 TEST(SchedFailures, JobsRequeueAndAllComplete) {
   auto jobs = sched::make_workload({200, 60.0, 1.5, 0.0, 0.0, 7});
   sched::SchedulerConfig reliable{8, sched::Policy::Sjf, 0.0, 0};
