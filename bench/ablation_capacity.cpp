@@ -1,0 +1,197 @@
+// Capacity ablation (DESIGN.md section 14): sweep a tiled working set from
+// 0.5x to 4x of the device's memory and watch the paper-shaped cliff appear
+// at 1.0x. Under capacity the arena admits everything once (admission of
+// fresh data is free, like cudaMalloc) and simulated time is bit-identical
+// to a run with no arena attached. Past capacity the LRU resident set
+// thrashes: every tile touch evicts a victim (dirty victims spill d2h over
+// the DMA engine, clean ones drop free) and re-faults the tile h2d, so the
+// transfer engines join the critical path and the slowdown tracks the
+// oversubscription ratio.
+//
+// A second table isolates transfer elision: a naive driver that re-uploads
+// its whole working set every pass (the pre-port pattern the paper's apps
+// started from) against an arena that skips uploads whose device copy is
+// still current. Only the host-rewritten quarter of the tiles actually
+// moves; the elided fraction is recovered bandwidth.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/table.hpp"
+#include "mem/mem.hpp"
+
+#include "bench/bench_main.hpp"
+
+using namespace coe;
+
+namespace {
+
+constexpr std::size_t kTiles = 16;
+constexpr int kPasses = 4;
+
+struct SweepResult {
+  double sim_seconds = 0.0;
+  mem::DeviceArena::Stats stats;
+};
+
+/// Cyclically touches `kTiles` tiles summing to `ws_bytes` on a fresh
+/// machine, charging one streaming kernel per tile touch. Every 4th tile is
+/// written (dirty on eviction); the rest are read-only (clean drop). With
+/// `with_arena` false the same kernels run with no residency model -- the
+/// under-capacity baseline the arena run must match bit-for-bit.
+SweepResult run_sweep(const hsim::MachineModel& mach, double ws_bytes,
+                      bool with_arena, prof::Profiler* profiler = nullptr) {
+  auto ctx = core::make_device(mach);
+  SweepResult r;
+  {
+    mem::ArenaConfig cfg;
+    cfg.profiler = profiler;
+    std::optional<mem::DeviceArena> arena;
+    if (with_arena) arena.emplace(ctx, cfg);
+    const double tile = ws_bytes / static_cast<double>(kTiles);
+    for (int pass = 0; pass < kPasses; ++pass) {
+      for (std::size_t t = 0; t < kTiles; ++t) {
+        ctx.touch_device("tile." + std::to_string(t), tile,
+                         t % 4 == 0 ? core::MemAccess::Write
+                                    : core::MemAccess::Read);
+        ctx.record_kernel({0.25 * tile, tile});
+      }
+    }
+    ctx.sync();
+    r.sim_seconds = ctx.simulated_time();
+    if (arena) r.stats = arena->stats();
+  }
+  return r;
+}
+
+struct ElisionResult {
+  double sim_seconds = 0.0;
+  double h2d_bytes = 0.0;  ///< priced upload + fault traffic
+  double elided_bytes = 0.0;
+};
+
+/// The naive upload-everything driver: every pass re-uploads all tiles even
+/// though the host only rewrote a rotating quarter of them.
+ElisionResult run_naive_uploads(const hsim::MachineModel& mach,
+                                double ws_bytes, bool elide) {
+  auto ctx = core::make_device(mach);
+  mem::ArenaConfig cfg;
+  cfg.elide_clean_transfers = elide;
+  mem::DeviceArena arena(ctx, cfg);
+  const double tile = ws_bytes / static_cast<double>(kTiles);
+  for (int pass = 0; pass < kPasses; ++pass) {
+    for (std::size_t t = 0; t < kTiles; ++t) {
+      const std::string name = "tile." + std::to_string(t);
+      if (t % 4 == static_cast<std::size_t>(pass % 4)) {
+        ctx.touch_host(name, tile, core::MemAccess::Write);
+      }
+      ctx.upload(name, tile);
+      ctx.touch_device(name, tile, core::MemAccess::Read);
+      ctx.record_kernel({0.25 * tile, tile});
+    }
+  }
+  ctx.sync();
+  ElisionResult r;
+  r.sim_seconds = ctx.simulated_time();
+  r.h2d_bytes = arena.stats().upload_bytes + arena.stats().fault_bytes;
+  r.elided_bytes = arena.stats().elided_bytes;
+  return r;
+}
+
+}  // namespace
+
+COE_BENCH_MAIN(ablation_capacity) {
+  const double ratios[] = {0.5, 0.75, 1.0, 1.5, 2.0, 3.0, 4.0};
+  const std::pair<const char*, hsim::MachineModel> machines[] = {
+      {"v100", hsim::machines::v100()}, {"p100", hsim::machines::p100()}};
+
+  for (const auto& [mname, mach] : machines) {
+    std::printf("=== Working-set sweep on %s (capacity %.0f GiB, %zu tiles,"
+                " %d passes, LRU) ===\n\n",
+                mname, mach.mem_capacity / (1024.0 * 1024.0 * 1024.0),
+                kTiles, kPasses);
+    core::Table t({"ws/cap", "sim ms", "no-arena ms", "slowdown",
+                   "evictions", "spill GiB", "fault GiB"});
+    for (const double ratio : ratios) {
+      const double ws = ratio * mach.mem_capacity;
+      const bool headline =
+          ratio == 2.0 && std::string(mname) == "v100";
+      const SweepResult with = run_sweep(
+          mach, ws, true, headline ? &bench.profiler() : nullptr);
+      const SweepResult without = run_sweep(mach, ws, false);
+      const double slowdown = with.sim_seconds / without.sim_seconds;
+      t.row({core::Table::num(ratio, 2),
+             core::Table::num(with.sim_seconds * 1e3, 3),
+             core::Table::num(without.sim_seconds * 1e3, 3),
+             core::Table::num(slowdown, 2) + "x",
+             std::to_string(with.stats.evictions),
+             core::Table::num(with.stats.spill_bytes / (1024.0 * 1024.0 *
+                                                        1024.0), 2),
+             core::Table::num(with.stats.fault_bytes / (1024.0 * 1024.0 *
+                                                        1024.0), 2)});
+      const std::string key = std::string("capacity.") + mname + ".r" +
+                              core::Table::num(ratio, 2);
+      bench.metrics().set(key + ".slowdown", slowdown);
+      bench.metrics().set(key + ".evictions",
+                          static_cast<double>(with.stats.evictions));
+      if (headline) {
+        // Re-run the headline point with a publishing arena so the report
+        // carries the full mem.* family for the oversubscribed case.
+        auto ctx = core::make_device(mach);
+        ctx.set_trace(&bench.trace());
+        mem::DeviceArena arena(ctx);
+        const double tile = ws / static_cast<double>(kTiles);
+        for (int pass = 0; pass < kPasses; ++pass) {
+          for (std::size_t tt = 0; tt < kTiles; ++tt) {
+            ctx.touch_device("tile." + std::to_string(tt), tile,
+                             tt % 4 == 0 ? core::MemAccess::Write
+                                         : core::MemAccess::Read);
+            ctx.record_kernel({0.25 * tile, tile});
+          }
+        }
+        ctx.sync();
+        arena.publish(bench.metrics());
+        bench.add_context("v100_oversubscribed_2x", ctx);
+      }
+    }
+    t.print();
+    std::printf("\n");
+  }
+  std::printf("under capacity the arena run matches the no-arena run"
+              " bit-for-bit (slowdown 1.00x, zero evictions); past 1.0x the"
+              " cyclic LRU working set thrashes and eviction traffic joins"
+              " the critical path.\n\n");
+
+  std::printf("=== Transfer elision: naive re-upload of all %zu tiles per"
+              " pass, host rewrites 1/4 (v100) ===\n\n", kTiles);
+  core::Table t2({"ws/cap", "mode", "sim ms", "h2d GiB", "elided GiB"});
+  const auto& v100 = machines[0].second;
+  double under_saving = 0.0;
+  for (const double ratio : {0.75, 2.0}) {
+    const double ws = ratio * v100.mem_capacity;
+    const ElisionResult off = run_naive_uploads(v100, ws, false);
+    const ElisionResult on = run_naive_uploads(v100, ws, true);
+    const double gib = 1024.0 * 1024.0 * 1024.0;
+    t2.row({core::Table::num(ratio, 2), "elide off",
+            core::Table::num(off.sim_seconds * 1e3, 3),
+            core::Table::num(off.h2d_bytes / gib, 2), "0.00"});
+    t2.row({core::Table::num(ratio, 2), "elide on",
+            core::Table::num(on.sim_seconds * 1e3, 3),
+            core::Table::num(on.h2d_bytes / gib, 2),
+            core::Table::num(on.elided_bytes / gib, 2)});
+    const std::string key =
+        "capacity.elision.r" + core::Table::num(ratio, 2);
+    bench.metrics().set(key + ".h2d_saved_frac",
+                        1.0 - on.h2d_bytes / off.h2d_bytes);
+    if (ratio < 1.0) under_saving = 1.0 - on.h2d_bytes / off.h2d_bytes;
+  }
+  t2.print();
+  std::printf("\nelision skips uploads whose device copy is still current:"
+              " under capacity ~%.0f%% of the naive h2d traffic vanishes"
+              " (only the rewritten quarter moves after the first pass);"
+              " oversubscribed, eviction invalidates resident copies so"
+              " less is recoverable.\n",
+              under_saving * 100.0);
+  return 0;
+}

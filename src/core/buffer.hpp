@@ -6,29 +6,56 @@
 //
 // UnifiedBuffer models CUDA Unified Memory the way Section 4.11 describes
 // it: migrations happen in 64 KiB blocks on first touch from the other side.
+//
+// Page-granularity policy (DESIGN.md section 14): a touched page moves as a
+// whole — except the trailing page of an allocation that is not a page
+// multiple, which is charged min(kPageBytes, bytes() - p * kPageBytes).
+// Real UM migrates whole pages, but it never copies bytes past the end of
+// the allocation; the old full-page charge billed a 64-byte buffer at
+// 1024x its size per migration.
 
 #include <cassert>
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/exec.hpp"
 
 namespace coe::core {
 
+/// Explicit-copy buffer (the cudaMemcpy idiom). An optional name enrolls
+/// it with the context's residency arena (DESIGN.md section 14): device
+/// accesses then admit it to the device's resident set — under capacity
+/// pressure it can be evicted (dirty pages spilled d2h) and re-faulted —
+/// and its uploads/readbacks become elidable when the destination copy is
+/// already current. Unnamed buffers keep the raw record_transfer
+/// accounting of earlier versions, bit for bit.
 template <typename T>
 class Buffer {
  public:
   Buffer(ExecContext& ctx, std::size_t n, T init = T{})
       : ctx_(&ctx), data_(n, init), valid_(Loc::Both) {}
 
+  Buffer(ExecContext& ctx, std::string name, std::size_t n, T init = T{})
+      : ctx_(&ctx), name_(std::move(name)), data_(n, init),
+        valid_(Loc::Both) {}
+
+  ~Buffer() {
+    if (!name_.empty() && ctx_->arena()) ctx_->arena()->release(name_);
+  }
+
+  Buffer(const Buffer&) = delete;
+  Buffer& operator=(const Buffer&) = delete;
+
   std::size_t size() const { return data_.size(); }
   std::size_t bytes() const { return data_.size() * sizeof(T); }
+  const std::string& name() const { return name_; }
 
   /// Read-only host access; pulls data back from the device if needed.
   std::span<const T> host_read() {
     if (valid_ == Loc::Device) {
-      ctx_->record_transfer(static_cast<double>(bytes()), /*to_device=*/false);
+      charge(/*to_device=*/false);
       valid_ = Loc::Both;
     }
     return {data_.data(), data_.size()};
@@ -38,14 +65,23 @@ class Buffer {
   std::span<T> host_write() {
     (void)host_read();
     valid_ = Loc::Host;
+    if (!name_.empty()) {
+      ctx_->touch_host(name_, static_cast<double>(bytes()),
+                       MemAccess::Write);
+    }
     return {data_.data(), data_.size()};
   }
 
   /// Read-only device access; uploads if the host copy is newer.
   std::span<const T> device_read() {
     if (valid_ == Loc::Host) {
-      ctx_->record_transfer(static_cast<double>(bytes()), /*to_device=*/true);
+      charge(/*to_device=*/true);
       valid_ = Loc::Both;
+    } else if (!name_.empty()) {
+      // Already device-valid, but the arena may have evicted it; a touch
+      // re-faults (priced) when it did and is free when it did not.
+      ctx_->touch_device(name_, static_cast<double>(bytes()),
+                         MemAccess::Read);
     }
     return {data_.data(), data_.size()};
   }
@@ -54,6 +90,10 @@ class Buffer {
   std::span<T> device_write() {
     (void)device_read();
     valid_ = Loc::Device;
+    if (!name_.empty()) {
+      ctx_->touch_device(name_, static_cast<double>(bytes()),
+                         MemAccess::Write);
+    }
     return {data_.data(), data_.size()};
   }
 
@@ -68,13 +108,31 @@ class Buffer {
  private:
   enum class Loc { Host, Device, Both };
 
+  void charge(bool to_device) {
+    const double b = static_cast<double>(bytes());
+    if (name_.empty()) {
+      ctx_->record_transfer(b, to_device);
+    } else if (to_device) {
+      ctx_->upload(name_, b);
+    } else {
+      ctx_->writeback(name_, b);
+    }
+  }
+
   ExecContext* ctx_;
+  std::string name_;
   std::vector<T> data_;
   Loc valid_;
 };
 
 /// Unified-memory style buffer: accesses from the "wrong" side migrate the
-/// touched 64 KiB blocks rather than the whole allocation.
+/// touched 64 KiB blocks rather than the whole allocation. Per-page dirty
+/// tracking distinguishes read sharing from writes: a read-touch leaves the
+/// source side's copy valid, so bouncing *unmodified* pages between host
+/// and device costs one migration instead of one per touch. The old model
+/// kept a single "which side" bit per page and re-charged every crossing;
+/// elided_transfers()/elided_bytes() count exactly the migrations that
+/// model would have billed and dirty tracking avoids.
 template <typename T>
 class UnifiedBuffer {
  public:
@@ -83,44 +141,93 @@ class UnifiedBuffer {
   UnifiedBuffer(ExecContext& ctx, std::size_t n, T init = T{})
       : ctx_(&ctx), data_(n, init) {
     const std::size_t pages = (bytes() + kPageBytes - 1) / kPageBytes;
-    on_device_.assign(pages ? pages : 1, false);
+    const std::size_t count = pages ? pages : 1;
+    // Pages start host-valid only, exactly like the old "on host" bit.
+    host_valid_.assign(count, true);
+    dev_valid_.assign(count, false);
+    legacy_on_device_.assign(count, false);
   }
 
   std::size_t size() const { return data_.size(); }
   std::size_t bytes() const { return data_.size() * sizeof(T); }
-  std::size_t pages() const { return on_device_.size(); }
+  std::size_t pages() const { return host_valid_.size(); }
 
-  /// Touch elements [lo, hi) from the host; migrates device-resident pages.
+  /// Write-touch of elements [lo, hi) from the host; migrates pages the
+  /// host copy is stale for and invalidates their device copy. (The
+  /// pre-dirty-tracking API: every touch was a write-touch.)
   std::span<T> host_touch(std::size_t lo, std::size_t hi) {
-    migrate(lo, hi, /*to_device=*/false);
+    touch(lo, hi, /*to_device=*/false, /*write=*/true);
     return {data_.data() + lo, hi - lo};
   }
 
-  /// Touch elements [lo, hi) from the device; migrates host-resident pages.
+  /// Write-touch from the device.
   std::span<T> device_touch(std::size_t lo, std::size_t hi) {
-    migrate(lo, hi, /*to_device=*/true);
+    touch(lo, hi, /*to_device=*/true, /*write=*/true);
+    return {data_.data() + lo, hi - lo};
+  }
+
+  /// Read-touch from the host: migrates stale pages but keeps the device
+  /// copy valid, so an unmodified page's return trip is free (elided).
+  std::span<const T> host_read(std::size_t lo, std::size_t hi) {
+    touch(lo, hi, /*to_device=*/false, /*write=*/false);
+    return {data_.data() + lo, hi - lo};
+  }
+
+  /// Read-touch from the device.
+  std::span<const T> device_read(std::size_t lo, std::size_t hi) {
+    touch(lo, hi, /*to_device=*/true, /*write=*/false);
     return {data_.data() + lo, hi - lo};
   }
 
   std::span<T> all() { return {data_.data(), data_.size()}; }
 
+  /// Migrations the single-residency model would have charged but dirty
+  /// tracking elided (both copies were already coherent).
+  std::size_t elided_transfers() const { return elided_transfers_; }
+  double elided_bytes() const { return elided_bytes_; }
+
  private:
-  void migrate(std::size_t lo, std::size_t hi, bool to_device) {
+  /// Bytes a migration of page `p` moves: full pages except the trailing
+  /// partial page, which only holds bytes() - p * kPageBytes.
+  double page_bytes(std::size_t p) const {
+    const std::size_t off = p * kPageBytes;
+    const std::size_t remain = bytes() > off ? bytes() - off : 0;
+    return static_cast<double>(remain < kPageBytes ? remain : kPageBytes);
+  }
+
+  void touch(std::size_t lo, std::size_t hi, bool to_device, bool write) {
     assert(lo <= hi && hi <= data_.size());
     const std::size_t p0 = lo * sizeof(T) / kPageBytes;
     const std::size_t p1 =
         hi == lo ? p0 : ((hi * sizeof(T) - 1) / kPageBytes + 1);
-    for (std::size_t p = p0; p < p1 && p < on_device_.size(); ++p) {
-      if (on_device_[p] != to_device) {
-        ctx_->record_transfer(static_cast<double>(kPageBytes), to_device);
-        on_device_[p] = to_device;
+    for (std::size_t p = p0; p < p1 && p < pages(); ++p) {
+      auto valid = to_device ? dev_valid_.begin() : host_valid_.begin();
+      auto other = to_device ? host_valid_.begin() : dev_valid_.begin();
+      // What the old single-residency model would have done: charge on
+      // every side crossing.
+      const bool legacy_charge = legacy_on_device_[p] != to_device;
+      legacy_on_device_[p] = to_device;
+      if (!valid[p]) {
+        ctx_->record_transfer(page_bytes(p), to_device);
+        valid[p] = true;
+      } else if (legacy_charge) {
+        ++elided_transfers_;
+        elided_bytes_ += page_bytes(p);
       }
+      if (write) other[p] = false;
     }
   }
 
   ExecContext* ctx_;
   std::vector<T> data_;
-  std::vector<bool> on_device_;
+  // Per-page validity of each side's copy (at least one is always true).
+  std::vector<bool> host_valid_;
+  std::vector<bool> dev_valid_;
+  // The old model's "which side owns the page" bit, maintained so elisions
+  // can be counted against exactly what it would have billed.
+  std::vector<bool> legacy_on_device_;
+  std::size_t elided_transfers_ = 0;
+  double elided_bytes_ = 0.0;
 };
 
 }  // namespace coe::core

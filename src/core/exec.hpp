@@ -24,6 +24,7 @@
 
 #include "core/cost.hpp"
 #include "core/machine.hpp"
+#include "core/residency.hpp"
 #include "core/threadpool.hpp"
 #include "obs/trace.hpp"
 
@@ -365,6 +366,49 @@ class ExecContext {
     launch_end(c, "kernel");
   }
 
+  // --- device-memory residency (DESIGN.md section 14) --------------------
+
+  /// Attaches a residency/capacity manager (coe::mem::DeviceArena). With
+  /// none attached (the default) the conveniences below degrade to the
+  /// exact raw record_transfer accounting of earlier versions, so enabling
+  /// the arena is opt-in per context.
+  void set_arena(ResidencyManager* arena) { arena_ = arena; }
+  ResidencyManager* arena() const { return arena_; }
+
+  /// Residency-aware h2d copy into a named allocation: the arena may elide
+  /// it (device copy already current) or add eviction traffic (capacity
+  /// pressure). Falls back to record_transfer(bytes, true) with no arena.
+  void upload(std::string_view name, double bytes) {
+    if (arena_) {
+      arena_->upload(name, bytes);
+    } else {
+      record_transfer(bytes, /*to_device=*/true);
+    }
+  }
+
+  /// Residency-aware d2h copy out of a named allocation. Falls back to
+  /// record_transfer(bytes, false) with no arena.
+  void writeback(std::string_view name, double bytes) {
+    if (arena_) {
+      arena_->writeback(name, bytes);
+    } else {
+      record_transfer(bytes, /*to_device=*/false);
+    }
+  }
+
+  /// Declares a device-kernel operand: with an arena attached the named
+  /// allocation is admitted to the resident set (faults and evictions
+  /// priced); a one-branch no-op otherwise.
+  void touch_device(std::string_view name, double bytes, MemAccess access) {
+    if (arena_) arena_->device_touch(name, bytes, access);
+  }
+
+  /// Declares a host-side use of a named allocation (a Write makes the
+  /// next upload of it non-elidable); a one-branch no-op without an arena.
+  void touch_host(std::string_view name, double bytes, MemAccess access) {
+    if (arena_) arena_->host_touch(name, bytes, access);
+  }
+
  private:
   template <std::size_t Dim, typename... Bodies>
   friend class FusedRegion;
@@ -469,6 +513,7 @@ class ExecContext {
   }
 
   Backend backend_;
+  ResidencyManager* arena_ = nullptr;
   std::vector<std::pair<hsim::CostModel, double>> shadows_;
   hsim::CostModel model_;
   hsim::Counters counters_;

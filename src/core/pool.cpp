@@ -1,6 +1,9 @@
 #include "core/pool.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <stdexcept>
+#include <string>
 
 namespace coe::core {
 
@@ -8,7 +11,18 @@ MemoryPool::~MemoryPool() = default;
 
 std::size_t MemoryPool::size_class(std::size_t bytes) {
   if (bytes < 8) bytes = 8;
-  return std::bit_width(bytes - 1);  // smallest k with 2^k >= bytes
+  const std::size_t k = std::bit_width(bytes - 1);  // smallest k: 2^k >= bytes
+  // free_ has kNumClasses lists and the rounded size is 2^k; a request
+  // above 2^63 would index out of bounds and shift by >= 64 (UB). No
+  // machine in the catalog has that much memory, so reject loudly instead
+  // of corrupting the pool.
+  if (k >= kNumClasses) {
+    throw std::length_error(
+        "MemoryPool: request of " + std::to_string(bytes) +
+        " bytes exceeds the largest size class (2^" +
+        std::to_string(kNumClasses - 1) + " bytes)");
+  }
+  return k;
 }
 
 void* MemoryPool::allocate(std::size_t bytes) {
@@ -21,21 +35,46 @@ void* MemoryPool::allocate(std::size_t bytes) {
     stats_.highwater_bytes = stats_.current_bytes;
   }
   auto& list = free_[k];
+  void* p = nullptr;
   if (!list.empty()) {
     ++stats_.reuse_count;
     auto block = std::move(list.back());
     list.pop_back();
-    return block.release();
+    p = block.release();
+  } else {
+    ++stats_.backing_allocs;
+    stats_.bytes_backed += rounded;
+    p = new std::byte[rounded];
   }
-  ++stats_.backing_allocs;
-  stats_.bytes_backed += rounded;
-  return new std::byte[rounded];
+  live_.emplace(p, k);
+  return p;
 }
 
 void MemoryPool::deallocate(void* p, std::size_t bytes) {
   if (p == nullptr) return;
   const std::size_t k = size_class(bytes);
-  stats_.current_bytes -= std::size_t{1} << k;
+  // Debug checks catch the two frees that silently corrupt the statistics
+  // (and the free lists) otherwise: returning a block twice, and returning
+  // it under a different size than it was allocated with.
+  const auto it = live_.find(p);
+  if (debug_checks_) {
+    if (it == live_.end()) {
+      throw std::logic_error(
+          "MemoryPool::deallocate: block is not live in this pool "
+          "(double free, or never allocated here)");
+    }
+    if (it->second != k) {
+      throw std::logic_error(
+          "MemoryPool::deallocate: size-mismatched free (allocated as class "
+          "2^" + std::to_string(it->second) + ", freed as class 2^" +
+          std::to_string(k) + ")");
+    }
+  }
+  if (it != live_.end()) live_.erase(it);
+  // Saturating subtraction: a mismatched free in release must not wrap
+  // current_bytes to ~2^64 and poison highwater/reuse reporting forever.
+  const std::size_t rounded = std::size_t{1} << k;
+  stats_.current_bytes -= std::min(rounded, stats_.current_bytes);
   free_[k].emplace_back(static_cast<std::byte*>(p));
 }
 

@@ -8,6 +8,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 namespace coe::core {
@@ -31,13 +32,28 @@ class MemoryPool {
   MemoryPool& operator=(const MemoryPool&) = delete;
 
   /// Returns at least `bytes` of storage (rounded up to a power of two).
+  /// Requests past the largest size class (2^63 bytes) throw
+  /// std::length_error rather than indexing out of the free lists.
   void* allocate(std::size_t bytes);
   /// Returns the block to the pool's free list (never to the heap).
+  /// With debug checks on (the default in !NDEBUG builds; see
+  /// set_debug_checks) a double free or a size-mismatched free throws
+  /// std::logic_error. With them off the statistics are clamped so a bad
+  /// free can never underflow current_bytes.
   void deallocate(void* p, std::size_t bytes);
+
+  /// Enables/disables the live-pointer validation in deallocate().
+  /// Defaults to on in !NDEBUG builds, off otherwise; tests turn it on
+  /// explicitly so the detection path runs under every build type.
+  void set_debug_checks(bool on) { debug_checks_ = on; }
+  bool debug_checks() const { return debug_checks_; }
   /// Releases all free-listed blocks back to the heap.
   void release();
 
   const Stats& stats() const { return stats_; }
+
+  /// Number of power-of-two size classes (free lists) the pool keeps.
+  static constexpr std::size_t kNumClasses = 64;
 
  private:
   static std::size_t size_class(std::size_t bytes);
@@ -48,8 +64,16 @@ class MemoryPool {
 
   // free_[k] holds blocks of 2^k bytes.
   std::vector<std::vector<std::unique_ptr<std::byte[]>>> free_ =
-      std::vector<std::vector<std::unique_ptr<std::byte[]>>>(64);
+      std::vector<std::vector<std::unique_ptr<std::byte[]>>>(kNumClasses);
   Stats stats_;
+  // Live (handed-out) blocks and their size class, maintained always so
+  // debug checks can be switched on mid-stream (see set_debug_checks).
+  std::unordered_map<const void*, std::size_t> live_;
+#ifndef NDEBUG
+  bool debug_checks_ = true;
+#else
+  bool debug_checks_ = false;
+#endif
 };
 
 /// RAII convenience for typed pool arrays.

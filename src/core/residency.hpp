@@ -1,0 +1,61 @@
+#pragma once
+// Device-memory residency hook (DESIGN.md section 14). Real heterogeneous
+// nodes have finite device memory (16 GB on the V100s the paper's apps ran
+// on); `hsim::MachineModel::mem_capacity` describes it, and this interface
+// is where the simulation enforces it. An ExecContext may have a
+// ResidencyManager attached (coe::mem::DeviceArena is the implementation);
+// buffers and drivers announce which named allocations a kernel or copy is
+// about to use, and the manager admits them into the device's resident set,
+// evicting (and pricing the eviction of) older allocations when capacity is
+// exceeded. Without a manager attached every call degrades to exactly the
+// raw `record_transfer` accounting earlier versions performed, so
+// under-capacity runs are bit-identical whether or not capacity modeling is
+// compiled in, attached, or exercised.
+//
+// The interface lives in core (rather than mem) so core's buffers and every
+// driver can speak it without a dependency cycle: core defines the seam,
+// coe::mem implements it.
+
+#include <string_view>
+
+namespace coe::core {
+
+/// Abstract residency/capacity manager for one simulated device.
+/// Implementations price their traffic through the owning ExecContext.
+class ResidencyManager {
+ public:
+  /// How a touch uses the data: Write marks the touched side's copy newer
+  /// (a later copy from it cannot be elided); Read leaves both copies
+  /// coherent when they already were.
+  enum class Access { Read, Write };
+
+  virtual ~ResidencyManager() = default;
+
+  /// A device kernel is about to use the named allocation: ensure it is
+  /// resident (admitting/evicting/faulting as needed, all priced).
+  virtual void device_touch(std::string_view name, double bytes,
+                            Access access) = 0;
+
+  /// Host code is about to use the named allocation (reads back a
+  /// device-dirty copy; a Write marks the host copy newer).
+  virtual void host_touch(std::string_view name, double bytes,
+                          Access access) = 0;
+
+  /// Explicit h2d copy of `bytes` into the named allocation (the
+  /// record_transfer(bytes, true) replacement). Returns false when the
+  /// transfer was elided because the device copy is already current.
+  virtual bool upload(std::string_view name, double bytes) = 0;
+
+  /// Explicit d2h copy out of the named allocation. Returns false when
+  /// elided because the host copy is already current.
+  virtual bool writeback(std::string_view name, double bytes) = 0;
+
+  /// The named allocation is gone; drop it from the resident set with no
+  /// traffic (freeing device memory is not a copy).
+  virtual void release(std::string_view name) = 0;
+};
+
+/// Shorthand used by the ExecContext conveniences and driver call sites.
+using MemAccess = ResidencyManager::Access;
+
+}  // namespace coe::core

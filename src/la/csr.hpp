@@ -62,6 +62,13 @@ class CsrMatrix {
   /// for any x, e^T (A x) must equal w^T x (see la/abft.hpp).
   std::vector<double> column_sums() const;
 
+  /// Bytes the matrix itself occupies (values + colind + rowptr) — its
+  /// device-memory footprint for residency accounting.
+  double footprint_bytes() const {
+    return static_cast<double>(nnz()) * (8.0 + 4.0) +
+           static_cast<double>(rows() + 1) * 8.0;
+  }
+
   /// Per-SpMV data traffic in bytes (for roofline reporting).
   double spmv_bytes() const {
     return static_cast<double>(nnz()) * (8.0 + 4.0 + 8.0) +

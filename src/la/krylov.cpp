@@ -23,7 +23,23 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
   const std::size_t n = a.rows();
   std::vector<double> r(n), z(n), p(n), ap(n);
 
+  // Declare the solver's working set to the residency arena (no-op when none
+  // is attached). The matrix and vectors are re-touched every iteration, so
+  // under capacity pressure the arena prices the refault traffic an
+  // oversubscribed GPU would see.
+  const double vb = static_cast<double>(n) * 8.0;
+  const auto touch_operands = [&] {
+    ctx.touch_device("cg.A", a.footprint_bytes(), core::MemAccess::Read);
+    ctx.touch_device("cg.b", vb, core::MemAccess::Read);
+    ctx.touch_device("cg.x", vb, core::MemAccess::Write);
+    ctx.touch_device("cg.r", vb, core::MemAccess::Write);
+    ctx.touch_device("cg.z", vb, core::MemAccess::Write);
+    ctx.touch_device("cg.p", vb, core::MemAccess::Write);
+    ctx.touch_device("cg.ap", vb, core::MemAccess::Write);
+  };
+
   prof::Scope solve_span(opts.profiler, &ctx, "cg");
+  touch_operands();
   {
     prof::Scope s(opts.profiler, &ctx, "spmv");
     a.apply(ctx, x, ap);
@@ -53,6 +69,7 @@ SolveResult cg(core::ExecContext& ctx, const Operator& a,
   const std::span<const double> md = m.diag();
 
   for (std::size_t it = 1; it <= opts.max_iters; ++it) {
+    touch_operands();
     {
       prof::Scope s(opts.profiler, &ctx, "spmv");
       a.apply(ctx, p, ap);

@@ -76,6 +76,7 @@ class CsrOperator final : public Operator {
   explicit CsrOperator(const CsrMatrix& a) : a_(&a) {}
   std::size_t rows() const override { return a_->rows(); }
   std::size_t cols() const override { return a_->cols(); }
+  double footprint_bytes() const override { return a_->footprint_bytes(); }
   void apply(core::ExecContext& ctx, std::span<const double> x,
              std::span<double> y) const override {
     a_->spmv(ctx, x, y);

@@ -19,6 +19,12 @@ class Operator {
   virtual std::size_t cols() const = 0;
   virtual void apply(core::ExecContext& ctx, std::span<const double> x,
                      std::span<double> y) const = 0;
+
+  /// Device-memory footprint of the operator's own data (matrix values and
+  /// index arrays), used by capacity-aware solvers to declare it to the
+  /// residency arena (DESIGN.md section 14). 0 means "unknown/immaterial"
+  /// (matrix-free operators).
+  virtual double footprint_bytes() const { return 0.0; }
 };
 
 /// z = M^{-1} r (approximately). Identity by default.

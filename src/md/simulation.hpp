@@ -72,8 +72,9 @@ class Simulation : public resil::Checkpointable {
         pot_(std::move(pot)), cfg_(cfg),
         nl_(std::sqrt(pot_.rcut2()), skin), rng_(cfg.seed) {
     if (cfg_.placement == Placement::AllGpu) {
-      // One-time upload of the whole system; it stays resident.
-      device_->record_transfer(static_cast<double>(p_.n) * 9.0 * 8.0, true);
+      // One-time upload of the whole system; it stays resident (named so an
+      // attached residency arena tracks it and can evict under pressure).
+      device_->upload("md.system", static_cast<double>(p_.n) * 9.0 * 8.0);
     }
     nl_.build(*device_, p_, box_);
     compute_forces();
@@ -235,14 +236,22 @@ class Simulation : public resil::Checkpointable {
   }
 
   StepInfo compute_forces(StepInfo info = StepInfo{}) {
+    const double xfer = static_cast<double>(p_.n) * 3.0 * 4.0;
     if (cfg_.placement == Placement::Split) {
-      // Ship positions to the device, forces back (single precision).
-      device_->record_transfer(static_cast<double>(p_.n) * 3.0 * 4.0, true);
+      // Ship positions to the device, forces back (single precision). The
+      // CPU integrator rewrote the positions, so the upload never elides.
+      device_->touch_host("md.positions", xfer, core::MemAccess::Write);
+      device_->upload("md.positions", xfer);
+    } else {
+      // The whole system lives on the device; each force pass rewrites it.
+      device_->touch_device("md.system", static_cast<double>(p_.n) * 9.0 * 8.0,
+                            core::MemAccess::Write);
     }
     p_.zero_forces();
     const PairResult pr = compute_pair_forces(*device_, p_, box_, nl_, pot_);
     if (cfg_.placement == Placement::Split) {
-      device_->record_transfer(static_cast<double>(p_.n) * 3.0 * 4.0, false);
+      device_->touch_device("md.forces", xfer, core::MemAccess::Write);
+      device_->writeback("md.forces", xfer);
     }
     auto& bonded = integration_ctx();
     info.potential = pr.energy;

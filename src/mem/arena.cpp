@@ -1,0 +1,229 @@
+#include "mem/arena.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "prof/span.hpp"
+
+namespace coe::mem {
+
+DeviceArena::DeviceArena(core::ExecContext& ctx, ArenaConfig cfg)
+    : ctx_(&ctx), cfg_(cfg) {
+  capacity_ = cfg_.capacity_bytes > 0.0
+                  ? cfg_.capacity_bytes
+                  : ctx.model().machine().mem_capacity;
+  ctx_->set_arena(this);
+}
+
+DeviceArena::~DeviceArena() {
+  if (ctx_->arena() == this) ctx_->set_arena(nullptr);
+}
+
+void DeviceArena::declare(std::string_view name, double bytes) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    it = entries_.emplace(std::string(name), Entry{}).first;
+    it->second.last_use = ++tick_;
+  }
+  if (bytes > it->second.bytes) {
+    Entry& e = it->second;
+    if (e.resident) {
+      stats_.resident_bytes += bytes - e.bytes;
+      e.bytes = bytes;
+      if (stats_.resident_bytes > stats_.highwater_bytes) {
+        stats_.highwater_bytes = stats_.resident_bytes;
+      }
+      make_room(0.0, &e);
+    } else {
+      e.bytes = bytes;
+    }
+  }
+}
+
+DeviceArena::Entry& DeviceArena::touch_entry(std::string_view name,
+                                             double bytes) {
+  declare(name, bytes);
+  Entry& e = entries_.find(name)->second;
+  e.last_use = ++tick_;
+  return e;
+}
+
+void DeviceArena::make_room(double bytes, const Entry* keep) {
+  if (bytes > capacity_) {
+    throw std::length_error(
+        "DeviceArena: a single allocation of " + std::to_string(bytes) +
+        " bytes exceeds device capacity (" + std::to_string(capacity_) +
+        " bytes)");
+  }
+  while (stats_.resident_bytes + bytes > capacity_) {
+    Entry* victim = nullptr;
+    for (auto& [n, e] : entries_) {
+      if (!e.resident || &e == keep) continue;
+      if (!victim || e.last_use < victim->last_use) victim = &e;
+    }
+    if (!victim) break;  // nothing left to evict but `keep`
+    evict(*victim);
+  }
+}
+
+void DeviceArena::evict(Entry& e) {
+  if (e.device_dirty) {
+    // The only current copy lives on the device: spill it back over the
+    // DMA engine before dropping it. This is the priced part of eviction.
+    prof::Scope span(cfg_.profiler, ctx_, "mem/spill");
+    ctx_->record_transfer(e.bytes, /*to_device=*/false);
+    stats_.spill_bytes += e.bytes;
+    e.device_dirty = false;
+  }
+  // A clean victim drops free: the host backing copy is still current.
+  e.resident = false;
+  stats_.resident_bytes -= e.bytes;
+  ++stats_.evictions;
+}
+
+void DeviceArena::admit(Entry& e, bool charge_fill) {
+  make_room(e.bytes, &e);
+  e.resident = true;
+  stats_.resident_bytes += e.bytes;
+  if (stats_.resident_bytes > stats_.highwater_bytes) {
+    stats_.highwater_bytes = stats_.resident_bytes;
+  }
+  ++stats_.admits;
+  if (charge_fill && (e.ever_admitted || e.host_dirty)) {
+    // Re-fault of evicted data (or host-seeded data): the device copy has
+    // to be rebuilt from the host backing store.
+    prof::Scope span(cfg_.profiler, ctx_, "mem/fault");
+    ctx_->record_transfer(e.bytes, /*to_device=*/true);
+    ++stats_.faults;
+    stats_.fault_bytes += e.bytes;
+    e.host_dirty = false;
+  }
+  e.ever_admitted = true;
+}
+
+void DeviceArena::device_touch(std::string_view name, double bytes,
+                               Access access) {
+  Entry& e = touch_entry(name, bytes);
+  if (!e.resident) {
+    admit(e, /*charge_fill=*/true);
+  } else if (e.host_dirty) {
+    // Host wrote since the device copy was made and the driver touched the
+    // device without an explicit upload: coherence re-upload.
+    prof::Scope span(cfg_.profiler, ctx_, "mem/fault");
+    ctx_->record_transfer(e.bytes, /*to_device=*/true);
+    ++stats_.faults;
+    stats_.fault_bytes += e.bytes;
+    e.host_dirty = false;
+  }
+  if (access == Access::Write) {
+    e.device_dirty = true;
+    e.host_dirty = false;
+  }
+}
+
+void DeviceArena::host_touch(std::string_view name, double bytes,
+                             Access access) {
+  Entry& e = touch_entry(name, bytes);
+  if (e.resident && e.device_dirty) {
+    // Device copy is newer: the host read observes it, so it comes back.
+    prof::Scope span(cfg_.profiler, ctx_, "mem/spill");
+    ctx_->record_transfer(e.bytes, /*to_device=*/false);
+    ++stats_.writebacks;
+    stats_.writeback_bytes += e.bytes;
+    e.device_dirty = false;
+  }
+  if (access == Access::Write) {
+    e.host_dirty = true;
+    e.device_dirty = false;
+  }
+}
+
+bool DeviceArena::upload(std::string_view name, double bytes) {
+  Entry& e = touch_entry(name, bytes);
+  if (cfg_.elide_clean_transfers && e.resident && !e.host_dirty) {
+    ++stats_.elided_transfers;
+    stats_.elided_bytes += bytes;
+    return false;
+  }
+  // The upload itself is the fill, so admission charges no fault.
+  if (!e.resident) admit(e, /*charge_fill=*/false);
+  ctx_->record_transfer(bytes, /*to_device=*/true);
+  ++stats_.uploads;
+  stats_.upload_bytes += bytes;
+  e.host_dirty = false;
+  e.device_dirty = false;
+  return true;
+}
+
+bool DeviceArena::writeback(std::string_view name, double bytes) {
+  Entry& e = touch_entry(name, bytes);
+  if (cfg_.elide_clean_transfers && !e.device_dirty) {
+    // Host copy is already current (a clean resident copy, or a spill
+    // already wrote it back): the d2h is redundant.
+    ++stats_.elided_transfers;
+    stats_.elided_bytes += bytes;
+    return false;
+  }
+  ctx_->record_transfer(bytes, /*to_device=*/false);
+  ++stats_.writebacks;
+  stats_.writeback_bytes += bytes;
+  e.device_dirty = false;
+  return true;
+}
+
+void DeviceArena::release(std::string_view name) {
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return;
+  if (it->second.resident) {
+    // Freeing device memory is not a copy; no spill, no eviction count.
+    stats_.resident_bytes -= it->second.bytes;
+  }
+  entries_.erase(it);
+}
+
+bool DeviceArena::resident(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.resident;
+}
+
+bool DeviceArena::dirty(std::string_view name) const {
+  const auto it = entries_.find(name);
+  return it != entries_.end() && it->second.device_dirty;
+}
+
+std::vector<std::string> DeviceArena::lru_order() const {
+  std::vector<std::pair<std::uint64_t, std::string>> order;
+  for (const auto& [n, e] : entries_) {
+    if (e.resident) order.emplace_back(e.last_use, n);
+  }
+  std::sort(order.begin(), order.end());
+  std::vector<std::string> names;
+  names.reserve(order.size());
+  for (auto& [t, n] : order) names.push_back(std::move(n));
+  return names;
+}
+
+void DeviceArena::publish(obs::MetricsRegistry& reg) const {
+  reg.add("mem.admits", static_cast<double>(stats_.admits));
+  reg.add("mem.evictions", static_cast<double>(stats_.evictions));
+  reg.add("mem.spill_bytes", stats_.spill_bytes);
+  reg.add("mem.faults", static_cast<double>(stats_.faults));
+  reg.add("mem.fault_bytes", stats_.fault_bytes);
+  reg.add("mem.uploads", static_cast<double>(stats_.uploads));
+  reg.add("mem.upload_bytes", stats_.upload_bytes);
+  reg.add("mem.writebacks", static_cast<double>(stats_.writebacks));
+  reg.add("mem.writeback_bytes", stats_.writeback_bytes);
+  reg.add("mem.elided_transfers",
+          static_cast<double>(stats_.elided_transfers));
+  reg.add("mem.elided_bytes", stats_.elided_bytes);
+  reg.add("mem.pool_reuse", static_cast<double>(pool_.stats().reuse_count));
+  reg.set("mem.resident_bytes", stats_.resident_bytes);
+  reg.set("mem.resident_highwater", stats_.highwater_bytes);
+  reg.set("mem.capacity_bytes", capacity_);
+  reg.set("mem.allocations", static_cast<double>(entries_.size()));
+  reg.set("mem.pool_highwater_bytes",
+          static_cast<double>(pool_.stats().highwater_bytes));
+}
+
+}  // namespace coe::mem

@@ -1,0 +1,207 @@
+#pragma once
+// coe::mem -- capacity-aware device memory (DESIGN.md section 14).
+//
+// The paper's applications lived inside a 16 GB V100 (or P100), and the
+// porting work it describes -- Umpire pools, unified-memory paging on
+// Sierra, "perform all computations on the GPU to minimize data migration"
+// -- is largely about what happens when a working set flirts with that
+// limit. DeviceArena is the model of that limit: a per-device resident-set
+// tracker that enforces `hsim::MachineModel::mem_capacity`.
+//
+// Named allocations are admitted to the resident set on first device
+// touch (admission of never-before-seen data is free, like cudaMalloc).
+// When admitting would exceed capacity, least-recently-used victims are
+// evicted -- and evictions are *priced*: a victim whose device copy is
+// dirty spills d2h through ExecContext::record_transfer (it rides the DMA
+// engine and shows up in the timeline, traces, and the prof DAG under a
+// "mem/spill" span); a clean victim is dropped free, because the host
+// backing copy is still current. Re-touching an evicted allocation
+// re-faults it h2d ("mem/fault" span). Explicit upload()/writeback()
+// calls replace drivers' raw record_transfer pairs; when the destination
+// copy is already current they can be *elided* (skipped and counted)
+// under ArenaConfig::elide_clean_transfers.
+//
+// Accounting contract: with the working set under capacity and elision
+// off, an arena-attached run performs exactly the record_transfer calls a
+// detached run performs -- bit-identical simulated time and counters
+// (enforced by tests/test_mem.cpp).
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <new>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "core/pool.hpp"
+#include "core/residency.hpp"
+
+namespace coe::obs {
+class MetricsRegistry;
+}
+namespace coe::prof {
+class Profiler;
+}
+
+namespace coe::mem {
+
+struct ArenaConfig {
+  /// Device capacity in bytes; 0 takes the attached context's machine
+  /// model (`mem_capacity`).
+  double capacity_bytes = 0.0;
+  /// Skip (and count) uploads whose device copy is already current and
+  /// writebacks whose host copy is. Off, every explicit upload/writeback
+  /// is priced exactly like the raw record_transfer it replaces.
+  bool elide_clean_transfers = true;
+  /// Optional span sink: arena-induced traffic (spills, faults) is wrapped
+  /// in "mem/spill" / "mem/fault" prof::Scope regions so the DAG and the
+  /// bottleneck report attribute the stalls. Null disables (and leaves the
+  /// context's timeline phases untouched).
+  prof::Profiler* profiler = nullptr;
+};
+
+/// Per-device resident-set model. Attach to the device ExecContext
+/// (the constructor does this) and the context's upload()/writeback()/
+/// touch_device()/touch_host() conveniences route through it. Not
+/// thread-safe; one per device context, like the context itself.
+class DeviceArena final : public core::ResidencyManager {
+ public:
+  struct Stats {
+    double resident_bytes = 0.0;    ///< currently admitted
+    double highwater_bytes = 0.0;   ///< max of resident_bytes
+    std::uint64_t admits = 0;       ///< admissions into the resident set
+    std::uint64_t evictions = 0;    ///< LRU victims removed
+    double spill_bytes = 0.0;       ///< d2h traffic from dirty evictions
+    std::uint64_t faults = 0;       ///< priced (re-)admissions h2d
+    double fault_bytes = 0.0;
+    std::uint64_t uploads = 0;      ///< explicit h2d copies priced
+    double upload_bytes = 0.0;
+    std::uint64_t writebacks = 0;   ///< explicit/coherence d2h copies priced
+    double writeback_bytes = 0.0;
+    std::uint64_t elided_transfers = 0;  ///< copies skipped as redundant
+    double elided_bytes = 0.0;
+  };
+
+  /// Attaches itself to `ctx` (ctx.set_arena(this)); detaches on
+  /// destruction if still attached.
+  explicit DeviceArena(core::ExecContext& ctx, ArenaConfig cfg = {});
+  ~DeviceArena() override;
+
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  double capacity() const { return capacity_; }
+  const Stats& stats() const { return stats_; }
+  core::ExecContext& context() { return *ctx_; }
+
+  /// The Umpire-style pool backing ArenaArray allocations.
+  core::MemoryPool& pool() { return pool_; }
+
+  /// Registers a named allocation without touching it (it becomes
+  /// resident on first device touch). Re-declaring grows the recorded
+  /// size; it never shrinks it.
+  void declare(std::string_view name, double bytes);
+
+  // ResidencyManager:
+  void device_touch(std::string_view name, double bytes,
+                    Access access) override;
+  void host_touch(std::string_view name, double bytes,
+                  Access access) override;
+  bool upload(std::string_view name, double bytes) override;
+  bool writeback(std::string_view name, double bytes) override;
+  void release(std::string_view name) override;
+
+  // Introspection (tests, reports).
+  bool resident(std::string_view name) const;
+  bool dirty(std::string_view name) const;
+  /// Resident allocations, least recently used first (the eviction order).
+  std::vector<std::string> lru_order() const;
+
+  /// Publishes the mem.* metrics family (DESIGN.md section 14):
+  /// counters mem.admits/evictions/spill_bytes/faults/fault_bytes/
+  /// uploads/upload_bytes/writebacks/writeback_bytes/elided_transfers/
+  /// elided_bytes/pool_reuse, gauges mem.resident_bytes/
+  /// resident_highwater/capacity_bytes/allocations/pool_highwater_bytes.
+  void publish(obs::MetricsRegistry& reg) const;
+
+ private:
+  struct Entry {
+    double bytes = 0.0;
+    bool resident = false;
+    bool device_dirty = false;  ///< device copy newer than host backing
+    bool host_dirty = false;    ///< host copy newer than device copy
+    bool ever_admitted = false; ///< first admission is free; later = fault
+    std::uint64_t last_use = 0;
+  };
+
+  Entry& touch_entry(std::string_view name, double bytes);
+  /// Evicts LRU victims (never `keep`) until `bytes` more fit.
+  void make_room(double bytes, const Entry* keep);
+  void evict(Entry& e);
+  void admit(Entry& e, bool charge_fill);
+
+  core::ExecContext* ctx_;
+  ArenaConfig cfg_;
+  double capacity_ = 0.0;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::uint64_t tick_ = 0;
+  Stats stats_;
+  core::MemoryPool pool_;
+};
+
+/// RAII typed array: storage from the arena's MemoryPool, residency under
+/// the arena's capacity. The touch helpers are the read/write idiom of
+/// core::Buffer expressed against the arena.
+template <typename T>
+class ArenaArray {
+ public:
+  ArenaArray(DeviceArena& arena, std::string name, std::size_t n)
+      : arena_(&arena), name_(std::move(name)), n_(n),
+        data_(static_cast<T*>(arena.pool().allocate(n * sizeof(T)))) {
+    for (std::size_t i = 0; i < n_; ++i) new (data_ + i) T{};
+    arena_->declare(name_, static_cast<double>(n_ * sizeof(T)));
+  }
+  ~ArenaArray() {
+    arena_->release(name_);
+    for (std::size_t i = 0; i < n_; ++i) data_[i].~T();
+    arena_->pool().deallocate(data_, n_ * sizeof(T));
+  }
+
+  ArenaArray(const ArenaArray&) = delete;
+  ArenaArray& operator=(const ArenaArray&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return n_; }
+  double bytes() const { return static_cast<double>(n_ * sizeof(T)); }
+
+  std::span<const T> device_read() {
+    arena_->device_touch(name_, bytes(), DeviceArena::Access::Read);
+    return {data_, n_};
+  }
+  std::span<T> device_write() {
+    arena_->device_touch(name_, bytes(), DeviceArena::Access::Write);
+    return {data_, n_};
+  }
+  std::span<const T> host_read() {
+    arena_->host_touch(name_, bytes(), DeviceArena::Access::Read);
+    return {data_, n_};
+  }
+  std::span<T> host_write() {
+    arena_->host_touch(name_, bytes(), DeviceArena::Access::Write);
+    return {data_, n_};
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+
+ private:
+  DeviceArena* arena_;
+  std::string name_;
+  std::size_t n_;
+  T* data_;
+};
+
+}  // namespace coe::mem

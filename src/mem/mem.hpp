@@ -1,0 +1,6 @@
+#pragma once
+// Umbrella header for coe::mem, the capacity-aware device-memory model
+// (DESIGN.md section 14): DeviceArena (residency, priced LRU eviction,
+// transfer elision) and ArenaArray (pool-backed named allocations).
+
+#include "mem/arena.hpp"

@@ -10,8 +10,9 @@ Monodomain::Monodomain(core::ExecContext& device, core::ExecContext& host,
                        TissueConfig cfg)
     : device_(&device), host_(&host), cfg_(cfg), kernel_(cfg.rates),
       cells_(cfg.nx * cfg.ny), lap_(cfg.nx * cfg.ny, 0.0) {
-  // One-time upload of the tissue state.
-  device_->record_transfer(static_cast<double>(cells_.size()) * 32.0, true);
+  // One-time upload of the tissue state (named so an attached residency
+  // arena tracks the cell array's device copy).
+  device_->upload("cardioid.cells", static_cast<double>(cells_.size()) * 32.0);
 }
 
 void Monodomain::stimulate(std::size_t x0, std::size_t x1, std::size_t y0,
@@ -33,9 +34,11 @@ void Monodomain::step() {
   {
     prof::Scope diff_span(cfg_.profiler, &dctx, "diffusion");
     if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
-      // Voltage field leaves the device and the Laplacian comes back.
-      device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
-                               false);
+      // Voltage field leaves the device and the Laplacian comes back. With
+      // an elision-enabled arena the very first step's d2h is skipped (the
+      // device copy is still clean from the constructor upload).
+      device_->writeback("cardioid.cells",
+                         static_cast<double>(cells_.size()) * 8.0);
     }
     // 5-point Laplacian with no-flux (mirrored) boundaries.
     dctx.forall2(nx, ny, {8.0, 48.0}, [&](std::size_t i, std::size_t j) {
@@ -50,11 +53,29 @@ void Monodomain::step() {
           coef * (vim + vip + vjm + vjp - 4.0 * v(i, j));
     });
     if (cfg_.placement == TissuePlacement::SplitCpuDiffusion) {
-      device_->record_transfer(static_cast<double>(cells_.size()) * 8.0,
-                               true);
+      // Host just rewrote the Laplacian, so the upload is never elidable.
+      const double lb = static_cast<double>(cells_.size()) * 8.0;
+      device_->touch_host("cardioid.lap", lb, core::MemAccess::Write);
+      device_->upload("cardioid.lap", lb);
+    } else {
+      // Diffusion ran on the device: it read the voltages and wrote lap_.
+      device_->touch_device("cardioid.cells",
+                            static_cast<double>(cells_.size()) * 32.0,
+                            core::MemAccess::Read);
+      device_->touch_device("cardioid.lap",
+                            static_cast<double>(cells_.size()) * 8.0,
+                            core::MemAccess::Write);
     }
   }
   prof::Scope react_span(cfg_.profiler, device_, "reaction");
+  // Reaction + voltage update rewrite the cell state on the device and read
+  // the Laplacian from device memory.
+  device_->touch_device("cardioid.cells",
+                        static_cast<double>(cells_.size()) * 32.0,
+                        core::MemAccess::Write);
+  device_->touch_device("cardioid.lap",
+                        static_cast<double>(cells_.size()) * 8.0,
+                        core::MemAccess::Read);
 
   // Voltage update from diffusion + stimulus (device resident), then the
   // reaction kernel (always on the device). Both touch only cell idx, so

@@ -207,8 +207,12 @@ void WaveSolver::apply_forcing(double dt, bool skip_transfer) {
   if (sources_.empty()) return;
   const double dt2 = dt * dt;
   if (!opts_.forcing_on_device && !skip_transfer) {
-    // Host computes the source values and ships them over per step.
-    ctx_->record_transfer(static_cast<double>(sources_.size()) * 16.0, true);
+    // Host computes the source values and ships them over per step. The
+    // host-side write marks the staging buffer dirty so an attached arena
+    // never elides this genuinely-fresh upload.
+    const double b = static_cast<double>(sources_.size()) * 16.0;
+    ctx_->touch_host("wave.forcing", b, core::MemAccess::Write);
+    ctx_->upload("wave.forcing", b);
   }
   ctx_->forall(sources_.size(), {20.0, 48.0}, [&](std::size_t s) {
     const auto& src = sources_[s];
@@ -225,11 +229,24 @@ void WaveSolver::step(double dt) {
   const bool stream_offload =
       opts_.use_streams && !opts_.forcing_on_device && !sources_.empty();
   prof::Scope step_span(opts_.profiler, ctx_, "wave_step");
+  // Declare the step's device working set to the residency arena (no-op
+  // without one): the three rotating fields plus the Laplacian scratch, and
+  // the c^2 field when the medium is heterogeneous. Under an over-committed
+  // arena these touches trigger priced evictions/refaults.
+  const double fb = static_cast<double>(u_.size()) * 8.0;
+  ctx_->touch_device("wave.u", fb, core::MemAccess::Read);
+  ctx_->touch_device("wave.u_prev", fb, core::MemAccess::Read);
+  ctx_->touch_device("wave.u_next", fb, core::MemAccess::Write);
+  if (!opts_.fused) ctx_->touch_device("wave.lap", fb, core::MemAccess::Write);
+  if (heterogeneous())
+    ctx_->touch_device("wave.c2", fb, core::MemAccess::Read);
   core::ExecContext::StreamEvent upload_done{};
   if (stream_offload) {
     prof::Scope s(opts_.profiler, ctx_, "forcing_upload");
     ctx_->stream(1);
-    ctx_->record_transfer(static_cast<double>(sources_.size()) * 16.0, true);
+    const double b = static_cast<double>(sources_.size()) * 16.0;
+    ctx_->touch_host("wave.forcing", b, core::MemAccess::Write);
+    ctx_->upload("wave.forcing", b);
     upload_done = ctx_->record_event();
     ctx_->stream(0);
   }
@@ -259,6 +276,9 @@ void WaveSolver::step(double dt) {
     if (v > m) m = v;
   };
   prof::Scope shake_span(opts_.profiler, ctx_, "shake");
+  ctx_->touch_device("wave.shake",
+                     static_cast<double>(shake_.size()) * 8.0,
+                     core::MemAccess::Write);
   if (opts_.use_streams) {
     // The shake map only reads the settled field, so on its own stream it
     // overlaps the NEXT step's stencil instead of extending the critical

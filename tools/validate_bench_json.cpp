@@ -10,6 +10,7 @@
 // section 10.3). Reports per-file PASS/FAIL; exits nonzero if any file
 // fails. When a bench report references a trace file that exists next to
 // it, the trace is parsed and checked too.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -44,6 +45,59 @@ void check_metrics_section(const Json& metrics, const char* key) {
   }
   if (metrics.at(key).type() != Json::Type::Object) {
     fail(std::string("metrics.") + key + " is not an object");
+  }
+}
+
+/// The mem.* metrics family DeviceArena::publish emits (DESIGN.md
+/// section 14) is a fixed schema: unknown mem.* keys are typos the bench
+/// diff would silently drop, so they fail here. Cross-key invariants
+/// (spill requires evictions, residency within capacity) are checked too.
+void check_mem_metrics(const Json& metrics) {
+  static const std::vector<std::string> counters = {
+      "mem.admits",          "mem.evictions",     "mem.spill_bytes",
+      "mem.faults",          "mem.fault_bytes",   "mem.uploads",
+      "mem.upload_bytes",    "mem.writebacks",    "mem.writeback_bytes",
+      "mem.elided_transfers", "mem.elided_bytes", "mem.pool_reuse"};
+  static const std::vector<std::string> gauges = {
+      "mem.resident_bytes", "mem.resident_highwater", "mem.capacity_bytes",
+      "mem.allocations", "mem.pool_highwater_bytes"};
+
+  auto scan = [&](const char* section, const std::vector<std::string>& known) {
+    double out_evictions = -1.0, out_spill = -1.0;
+    double out_resident = -1.0, out_capacity = -1.0;
+    if (!metrics.contains(section) ||
+        metrics.at(section).type() != Json::Type::Object) {
+      return std::pair(out_evictions, out_spill);
+    }
+    for (const auto& [key, v] : metrics.at(section).fields()) {
+      if (key.rfind("mem.", 0) != 0) continue;
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        fail("metrics." + std::string(section) + " has unknown mem.* key \"" +
+             key + "\"");
+        continue;
+      }
+      if (v.type() != Json::Type::Number) {
+        fail("metrics." + std::string(section) + "." + key +
+             " is not a number");
+        continue;
+      }
+      const double x = v.as_number();
+      if (x < 0.0) fail(key + " is negative");
+      if (key == "mem.evictions") out_evictions = x;
+      if (key == "mem.spill_bytes") out_spill = x;
+      if (key == "mem.resident_bytes") out_resident = x;
+      if (key == "mem.capacity_bytes") out_capacity = x;
+    }
+    if (out_resident >= 0.0 && out_capacity > 0.0 &&
+        out_resident > out_capacity) {
+      fail("mem.resident_bytes exceeds mem.capacity_bytes");
+    }
+    return std::pair(out_evictions, out_spill);
+  };
+  const auto [evictions, spill] = scan("counters", counters);
+  scan("gauges", gauges);
+  if (evictions == 0.0 && spill > 0.0) {
+    fail("mem.spill_bytes > 0 with mem.evictions == 0");
   }
 }
 
@@ -292,6 +346,7 @@ bool validate(const std::string& path) {
     check_metrics_section(metrics, "counters");
     check_metrics_section(metrics, "gauges");
     check_metrics_section(metrics, "histograms");
+    check_mem_metrics(metrics);
   }
 
   if (!root.contains("trace")) {
