@@ -1,0 +1,195 @@
+// Communication-preparation ablation (DESIGN.md section 15): the three
+// moves the paper's scaling work leans on, measured on the coe::net layer.
+//
+//  1. Collective algorithm scaling: total messages per allreduce for the
+//     naive all-to-all O(P^2), recursive doubling O(P log P), and the
+//     bandwidth-optimal ring, with alpha-beta modeled times at a
+//     latency-bound and a bandwidth-bound payload, plus the algorithm
+//     select_allreduce actually picks. Small rank counts are additionally
+//     run on the real mailbox substrate to pin the closed forms to
+//     measured traffic.
+//  2. Halo aggregation + overlap on the 64-rank distributed wave driver:
+//     the 2x2 {aggregate, overlap} matrix, each leg's traffic replayed
+//     through net::reprice. The headline compares the repriced timeline
+//     against the old fully-sequentialized network bound (the quantity the
+//     per-link occupancy model replaces) and the prepared schedule against
+//     the unprepared one; the field must be bitwise identical across all
+//     legs, because aggregation and overlap reorder messages, not
+//     arithmetic.
+#include <cmath>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "net/net.hpp"
+#include "stencil/distributed.hpp"
+
+#include "bench/bench_main.hpp"
+
+using namespace coe;
+
+namespace {
+
+/// Runs one real allreduce on the mailbox substrate and returns the total
+/// message count the world recorded.
+std::size_t measured_messages(net::AllreduceAlgo algo, int ranks) {
+  const auto stats = mpi::run(ranks, [&](mpi::Communicator& comm) {
+    std::vector<double> v(8, double(comm.rank()));
+    net::allreduce_sum(comm, v, algo);
+  });
+  return stats.messages;
+}
+
+}  // namespace
+
+COE_BENCH_MAIN(ablation_comm) {
+  std::printf("=== Communication preparation: collectives, aggregation,"
+              " overlap ===\n\n");
+
+  // --- 1. Allreduce algorithm scaling -----------------------------------
+  const auto cl = hsim::clusters::cori(64);
+  const std::size_t small = 64;        // 8 doubles: latency-bound
+  const std::size_t large = 8u << 20;  // 8 MiB: bandwidth-bound
+  std::printf("allreduce on %s (alpha %.2g s, %.0f GB/s injection)\n\n",
+              cl.name.c_str(), cl.alpha, cl.effective_injection_bw() / 1e9);
+  core::Table t({"ranks", "naive msgs", "rd msgs", "ring msgs",
+                 "rd ms @8B", "ring ms @8B", "rd ms @8MiB", "ring ms @8MiB",
+                 "pick @8B", "pick @8MiB"});
+  for (const int p : {4, 8, 16, 32, 64, 128}) {
+    const auto naive =
+        net::allreduce_messages(net::AllreduceAlgo::Naive, p);
+    const auto rd = net::allreduce_messages(
+        net::AllreduceAlgo::RecursiveDoubling, p);
+    const auto ring = net::allreduce_messages(net::AllreduceAlgo::Ring, p);
+    const double rd_s = net::modeled_allreduce(
+        net::AllreduceAlgo::RecursiveDoubling, cl, small, p);
+    const double ring_s =
+        net::modeled_allreduce(net::AllreduceAlgo::Ring, cl, small, p);
+    const double rd_l = net::modeled_allreduce(
+        net::AllreduceAlgo::RecursiveDoubling, cl, large, p);
+    const double ring_l =
+        net::modeled_allreduce(net::AllreduceAlgo::Ring, cl, large, p);
+    t.row({std::to_string(p), std::to_string(naive), std::to_string(rd),
+           std::to_string(ring), core::Table::num(rd_s * 1e3, 4),
+           core::Table::num(ring_s * 1e3, 4),
+           core::Table::num(rd_l * 1e3, 2),
+           core::Table::num(ring_l * 1e3, 2),
+           net::algo_name(net::select_allreduce(cl, small, p)),
+           net::algo_name(net::select_allreduce(cl, large, p))});
+    const std::string pre = "net.allreduce.p" + std::to_string(p) + ".";
+    bench.metrics().set(pre + "naive.messages", double(naive));
+    bench.metrics().set(pre + "rd.messages", double(rd));
+    bench.metrics().set(pre + "ring.messages", double(ring));
+  }
+  t.print();
+  std::printf("\nnaive grows O(P^2); recursive doubling O(P log P) wins the"
+              " latency-bound regime, the ring's 2(P-1)/P byte volume wins"
+              " the bandwidth-bound one.\n\n");
+
+  // Pin the closed forms to real substrate traffic at small scale.
+  core::Table tm({"ranks", "algo", "formula", "measured"});
+  bool formulas_hold = true;
+  for (const int p : {4, 7, 8}) {
+    for (const auto algo : {net::AllreduceAlgo::Naive,
+                            net::AllreduceAlgo::RecursiveDoubling,
+                            net::AllreduceAlgo::Ring}) {
+      const auto formula = net::allreduce_messages(algo, p);
+      const auto measured = measured_messages(algo, p);
+      formulas_hold = formulas_hold && measured == formula;
+      tm.row({std::to_string(p), net::algo_name(algo),
+              std::to_string(formula), std::to_string(measured)});
+      if (p == 8) {
+        bench.metrics().set(std::string("net.allreduce.measured.p8.") +
+                                net::algo_name(algo) + ".messages",
+                            double(measured));
+      }
+    }
+  }
+  tm.print();
+  std::printf("formulas %s measured substrate traffic\n\n",
+              formulas_hold ? "match" : "DO NOT match");
+
+  // --- 2. 64-rank distributed wave: aggregation x overlap ----------------
+  const int ranks = 64;
+  stencil::DistributedWaveConfig cfg;
+  cfg.nx = 512;  // 8 interior planes per rank: room to overlap
+  cfg.ny = 16;
+  cfg.nz = 16;
+  cfg.steps = 8;
+  const auto wire = hsim::clusters::ethernet(ranks);
+  cfg.cluster = &wire;
+  auto u0 = [](double x, double y, double z) {
+    return std::sin(M_PI * x) * std::sin(2.0 * M_PI * y) *
+           std::sin(M_PI * z);
+  };
+  std::printf("=== Distributed wave, %d ranks, %zux%zux%zu, %d steps on"
+              " %s ===\n\n",
+              ranks, cfg.nx, cfg.ny, cfg.nz, cfg.steps, wire.name.c_str());
+
+  core::Table tw({"aggregate", "overlap", "msgs", "timeline ms",
+                  "sequential ms", "vs seq bound", "bitwise"});
+  stencil::DistributedWaveResult prepared, unprepared;
+  std::vector<double> ref_field;
+  bool bitwise = true;
+  for (const bool aggregate : {false, true}) {
+    for (const bool overlap : {false, true}) {
+      cfg.aggregate_halos = aggregate;
+      cfg.overlap = overlap;
+      auto res = stencil::distributed_wave_run(ranks, cfg, u0);
+      if (ref_field.empty()) {
+        ref_field = res.field;
+      } else {
+        bitwise = bitwise && res.field == ref_field;
+      }
+      const auto& m = res.modeled;
+      tw.row({aggregate ? "yes" : "no", overlap ? "yes" : "no",
+              std::to_string(m.messages),
+              core::Table::num(m.timeline_s * 1e3, 3),
+              core::Table::num(m.sequential_s * 1e3, 3),
+              core::Table::num(m.speedup(), 2) + "x",
+              res.field == ref_field ? "yes" : "NO"});
+      if (!aggregate && !overlap) unprepared = std::move(res);
+      if (aggregate && overlap) prepared = std::move(res);
+    }
+  }
+  tw.print();
+
+  const auto& pm = prepared.modeled;
+  const double schedule_speedup =
+      pm.timeline_s > 0.0 ? unprepared.modeled.timeline_s / pm.timeline_s
+                          : 1.0;
+  std::printf("\nprepared (aggregate + overlap): %zu messages, timeline"
+              " %.3f ms vs sequentialized bound %.3f ms -> %.2fx; vs the"
+              " unprepared schedule -> %.2fx; fields bitwise %s\n",
+              pm.messages, pm.timeline_s * 1e3, pm.sequential_s * 1e3,
+              pm.speedup(), schedule_speedup,
+              bitwise ? "identical" : "DIFFER");
+  std::printf("bisection floor %.3f ms, compute critical path %.3f ms,"
+              " replay %s\n",
+              pm.bisection_floor_s * 1e3, pm.compute_s * 1e3,
+              pm.well_formed ? "well-formed" : "NOT WELL-FORMED");
+
+  bench.metrics().set("net.headline.messages", double(pm.messages));
+  bench.metrics().set("net.headline.bytes", pm.bytes);
+  bench.metrics().set("net.headline.timeline_s", pm.timeline_s);
+  bench.metrics().set("net.headline.sequential_s", pm.sequential_s);
+  bench.metrics().set("net.headline.comm_sequential_s",
+                      pm.comm_sequential_s);
+  bench.metrics().set("net.headline.compute_s", pm.compute_s);
+  bench.metrics().set("net.headline.bisection_floor_s",
+                      pm.bisection_floor_s);
+  bench.metrics().set("net.headline.speedup", pm.speedup());
+  bench.metrics().set("net.headline.schedule_speedup", schedule_speedup);
+  bench.metrics().set("net.headline.bitwise", bitwise ? 1.0 : 0.0);
+  bench.metrics().set("net.baseline.messages",
+                      double(unprepared.modeled.messages));
+  bench.metrics().set("net.baseline.timeline_s",
+                      unprepared.modeled.timeline_s);
+  bench.add_machine("wave64_prepared_timeline", pm.timeline_s);
+  bench.add_machine("wave64_sequential_bound", pm.sequential_s);
+  bench.add_machine("wave64_unprepared_timeline",
+                    unprepared.modeled.timeline_s);
+  return bitwise && pm.well_formed && formulas_hold ? 0 : 1;
+}

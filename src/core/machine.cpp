@@ -199,15 +199,20 @@ double ClusterModel::gather(std::size_t bytes_per_rank, int ranks) const {
 namespace clusters {
 
 ClusterModel sierra(int nodes) {
-  return ClusterModel{"Sierra EDR fat-tree", nodes, 1.3e-6, 1.0 / 23e9};
+  // Dual-rail EDR: ~23 GB/s injection per node, non-blocking fat tree.
+  return ClusterModel{"Sierra EDR fat-tree", nodes, 1.3e-6, 1.0 / 23e9,
+                      23e9, 1.0};
 }
 
 ClusterModel cori(int nodes) {
-  return ClusterModel{"Cori Aries dragonfly", nodes, 1.5e-6, 1.0 / 10e9};
+  // Aries dragonfly: full injection but a tapered global bisection.
+  return ClusterModel{"Cori Aries dragonfly", nodes, 1.5e-6, 1.0 / 10e9,
+                      10e9, 0.5};
 }
 
 ClusterModel ethernet(int nodes) {
-  return ClusterModel{"10GbE", nodes, 30e-6, 1.0 / 1.1e9};
+  // Commodity 10GbE through an oversubscribed switch hierarchy.
+  return ClusterModel{"10GbE", nodes, 30e-6, 1.0 / 1.1e9, 1.1e9, 0.25};
 }
 
 }  // namespace clusters

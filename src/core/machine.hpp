@@ -78,6 +78,21 @@ struct ClusterModel {
   double alpha = 1e-6;   ///< per-message latency, s
   double beta = 1e-10;   ///< per-byte time, s (inverse link bandwidth)
 
+  /// Per-node NIC injection bandwidth, B/s. A node can only push (and pull)
+  /// this fast regardless of how many messages it has in flight — the
+  /// per-link occupancy resource net::reprice serializes on. 0 means
+  /// "derive from beta" (1/beta), keeping the two views consistent.
+  double injection_bw = 0.0;
+  /// Fraction of full bisection bandwidth the fabric sustains (1.0 = full
+  /// fat tree, <1 = tapered dragonfly/torus). net::reprice uses it as a
+  /// global lower bound on any traffic pattern that crosses the machine.
+  double bisection_factor = 1.0;
+
+  /// Effective injection bandwidth (injection_bw, or 1/beta when unset).
+  double effective_injection_bw() const {
+    return injection_bw > 0.0 ? injection_bw : 1.0 / beta;
+  }
+
   /// Time for a point-to-point message of `bytes`.
   double p2p(std::size_t bytes) const;
   /// Allreduce over `ranks` participants, Rabenseifner-style cost.

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <deque>
 
+#include "net/collective.hpp"
+
 namespace coe::ml {
 
 const char* to_string(DistAlgo a) {
@@ -137,6 +139,25 @@ DistResult train_distributed(DenseNet& net, const Dataset& ds,
       }
       break;
     }
+  }
+
+  if (cfg.cluster != nullptr && res.comm_rounds > 0) {
+    const auto& cl = *cfg.cluster;
+    const std::size_t bytes = net.num_params() * 8;
+    const int p = static_cast<int>(cfg.learners);
+    double central, logp;
+    if (algo == DistAlgo::Asgd) {
+      // Parameter-server round trip: gradient up, fresh weights down.
+      // There is no collective to substitute, so both schemes coincide.
+      central = logp = 2.0 * cl.p2p(bytes);
+    } else {
+      central = coe::net::modeled_allreduce(coe::net::AllreduceAlgo::Naive,
+                                            cl, bytes, p);
+      const auto algo_pick = coe::net::select_allreduce(cl, bytes, p);
+      logp = coe::net::modeled_allreduce(algo_pick, cl, bytes, p);
+    }
+    res.comm_central_s = static_cast<double>(res.comm_rounds) * central;
+    res.comm_logp_s = static_cast<double>(res.comm_rounds) * logp;
   }
 
   if (!finite()) res.diverged = true;

@@ -5,6 +5,7 @@
 // real (gradients on a real DenseNet over a real dataset); only the
 // learner concurrency is simulated.
 
+#include "core/machine.hpp"
 #include "ml/data.hpp"
 #include "ml/nn.hpp"
 
@@ -21,6 +22,10 @@ struct DistConfig {
   std::size_t batch = 16;        ///< per-learner minibatch
   std::size_t gradient_budget = 2000;  ///< total gradient evaluations
   std::uint64_t seed = 5;
+  /// When set, each algorithm's communication rounds are priced on this
+  /// interconnect (not owned): the naive/central scheme vs the log-P
+  /// collective net::select_allreduce would pick for the model size.
+  const hsim::ClusterModel* cluster = nullptr;
 };
 
 struct DistResult {
@@ -29,6 +34,10 @@ struct DistResult {
   std::size_t comm_rounds = 0;   ///< global reductions / server round trips
   std::size_t updates = 0;       ///< parameter updates applied
   bool diverged = false;         ///< loss became non-finite or exploded
+  /// Modeled seconds for all comm_rounds (0 unless cfg.cluster is set):
+  /// naive all-to-all/server scheme vs the selected log-P collective.
+  double comm_central_s = 0.0;
+  double comm_logp_s = 0.0;
 };
 
 /// Trains `net` in place under the given algorithm until the gradient

@@ -77,6 +77,17 @@ class World {
     return data;
   }
 
+  /// Nonblocking probe: pops the matching message if one is queued.
+  bool try_recv(int src, int dest, int tag, std::vector<double>& out) {
+    enter_op(dest);
+    std::lock_guard<std::mutex> lk(mtx_);
+    auto it = mail_.find(key(src, dest, tag));
+    if (it == mail_.end() || it->second.empty()) return false;
+    out = std::move(it->second.front());
+    it->second.pop();
+    return true;
+  }
+
   void barrier(int rank) {
     enter_op(rank);
     std::unique_lock<std::mutex> lk(mtx_);
@@ -92,7 +103,9 @@ class World {
     }
   }
 
-  void allreduce_sum(int rank, std::span<double> inout) {
+  enum class ReduceOp { Sum, Max };
+
+  void allreduce(int rank, std::span<double> inout, ReduceOp op) {
     enter_op(rank);
     std::unique_lock<std::mutex> lk(mtx_);
     // A new epoch may not start writing until every rank of the previous
@@ -102,9 +115,13 @@ class World {
     const std::size_t gen = reduce_gen_;
     if (reduce_count_ == 0) {
       reduce_buf_.assign(inout.begin(), inout.end());
-    } else {
+    } else if (op == ReduceOp::Sum) {
       for (std::size_t i = 0; i < inout.size(); ++i) {
         reduce_buf_[i] += inout[i];
+      }
+    } else {
+      for (std::size_t i = 0; i < inout.size(); ++i) {
+        reduce_buf_[i] = std::max(reduce_buf_[i], inout[i]);
       }
     }
     stats_.bytes += static_cast<double>(inout.size()) * 8.0;
@@ -201,19 +218,71 @@ std::vector<double> Communicator::recv(int src, int tag) {
   return world_->recv(src, rank_, tag);
 }
 
+Request Communicator::isend(int dest, int tag, std::vector<double> data) {
+  // Eager: the deposit happens at post time, so the request is complete.
+  world_->send(rank_, dest, tag, std::move(data));
+  Request r;
+  r.world_ = world_;
+  r.self_ = rank_;
+  r.peer_ = dest;
+  r.tag_ = tag;
+  r.done_ = true;
+  return r;
+}
+
+Request Communicator::irecv(int src, int tag) {
+  Request r;
+  r.world_ = world_;
+  r.self_ = rank_;
+  r.peer_ = src;
+  r.tag_ = tag;
+  r.is_recv_ = true;
+  return r;
+}
+
+std::vector<double> Communicator::wait(Request& r) {
+  if (!r.valid() || r.done_) return r.data_;
+  r.data_ = r.world_->recv(r.peer_, r.self_, r.tag_);
+  r.done_ = true;
+  return r.data_;
+}
+
+void Communicator::waitall(std::span<Request> rs) {
+  for (auto& r : rs) (void)wait(r);
+}
+
+bool Communicator::test(Request& r) {
+  if (!r.valid() || r.done_) return r.valid();
+  if (!r.world_->try_recv(r.peer_, r.self_, r.tag_, r.data_)) return false;
+  r.done_ = true;
+  return true;
+}
+
 void Communicator::allreduce_sum(std::span<double> inout) {
-  world_->allreduce_sum(rank_, inout);
+  world_->allreduce(rank_, inout, World::ReduceOp::Sum);
 }
 
 double Communicator::allreduce_sum(double v) {
   double buf = v;
-  world_->allreduce_sum(rank_, std::span<double>(&buf, 1));
+  world_->allreduce(rank_, std::span<double>(&buf, 1), World::ReduceOp::Sum);
   return buf;
 }
 
 double Communicator::allreduce_max(double v) {
-  // Built on the sum-reduce plumbing via a two-phase gather: simple and
-  // rarely hot. Encode max via repeated pairwise exchange with rank 0.
+  // Native single-pass max on the shared reduce buffer: one collective
+  // instead of the legacy two-phase gather's 2*(P-1) messages.
+  double buf = v;
+  world_->allreduce(rank_, std::span<double>(&buf, 1), World::ReduceOp::Max);
+  return buf;
+}
+
+void Communicator::allreduce_max(std::span<double> inout) {
+  world_->allreduce(rank_, inout, World::ReduceOp::Max);
+}
+
+double Communicator::allreduce_max_legacy(double v) {
+  // The pre-net path, kept only so tests can assert value-identity with
+  // the native reduction: gather every value to rank 0, broadcast back.
   if (world_->size() == 1) return v;
   if (rank_ == 0) {
     double best = v;

@@ -82,6 +82,36 @@ struct RunOptions {
 };
 
 class World;
+class Communicator;
+
+/// Handle on a pending nonblocking operation (MPI_Request analog). Sends
+/// are eager on the mailbox substrate, so an isend's request is born
+/// complete; an irecv's request completes inside wait()/waitall(), which
+/// run through the same deadline/retry/abort machinery as blocking recv —
+/// a pending request wakes with PeerFailure when any rank dies, and
+/// deadline expiries are retried with backoff before CommTimeout.
+class Request {
+ public:
+  Request() = default;
+  /// True once the operation finished (always true for isend requests).
+  bool done() const { return done_; }
+  /// True if this handle refers to an operation at all.
+  bool valid() const { return world_ != nullptr; }
+  /// Completed irecv payload (empty for sends or before completion).
+  const std::vector<double>& data() const { return data_; }
+  /// Moves the payload out (irecv, after wait).
+  std::vector<double> take() { return std::move(data_); }
+
+ private:
+  friend class Communicator;
+  World* world_ = nullptr;
+  int self_ = -1;   ///< posting rank
+  int peer_ = -1;   ///< source (irecv) or destination (isend)
+  int tag_ = 0;
+  bool is_recv_ = false;
+  bool done_ = false;
+  std::vector<double> data_;
+};
 
 /// Per-rank handle (MPI_Comm analog). Valid only inside run().
 class Communicator {
@@ -93,10 +123,40 @@ class Communicator {
   void send(int dest, int tag, std::vector<double> data);
   std::vector<double> recv(int src, int tag);
 
+  // --- nonblocking point-to-point (coe::net substrate) -------------------
+  /// Posts a send; on this eager substrate the message is deposited
+  /// immediately and the returned request is already complete (the traffic
+  /// is counted at post time, like a buffered MPI_Isend).
+  Request isend(int dest, int tag, std::vector<double> data);
+  /// Posts a receive for (src, tag); completion is deferred to
+  /// wait()/waitall()/test(). Multiple pending irecvs on the same (src,
+  /// tag) drain the FIFO mailbox in the order they are *waited*, not the
+  /// order they were posted.
+  Request irecv(int src, int tag);
+  /// Blocks until `r` completes; returns the payload for receives (empty
+  /// for sends). Waiting an already-complete request is a no-op returning
+  /// its payload. Deadline expiry retries with backoff, then CommTimeout;
+  /// a peer failure wakes the wait with PeerFailure.
+  std::vector<double> wait(Request& r);
+  /// Completes every request, in order; done requests are skipped, so a
+  /// mix of complete and pending handles is fine. Payloads stay readable
+  /// through Request::data().
+  void waitall(std::span<Request> rs);
+  /// Nonblocking completion probe: true (and fills the request's payload)
+  /// if the operation can finish now.
+  bool test(Request& r);
+
   /// In-place sum-allreduce over all ranks.
   void allreduce_sum(std::span<double> inout);
   double allreduce_sum(double v);
+  /// Max-allreduce, a native single-pass reduction on the shared-buffer
+  /// plumbing (one collective, no messages).
   double allreduce_max(double v);
+  void allreduce_max(std::span<double> inout);
+  /// The pre-net allreduce_max: a two-phase gather/broadcast through rank
+  /// 0 costing one message per non-root rank each way. Kept test-only so
+  /// the suite can assert the native path is value-identical.
+  double allreduce_max_legacy(double v);
 
   void barrier();
 

@@ -1,0 +1,97 @@
+#pragma once
+// Halo aggregation (DESIGN.md section 15.3). A HaloPlan describes, once,
+// which faces of a local field go to and come from each neighbor; every
+// exchange then packs all of a neighbor's faces into ONE coalesced message
+// (and unpacks one the other way), instead of one message per face. On an
+// alpha-dominated interconnect this halves (or better) the per-step message
+// count — the paper's "aggregate your halos" preparation step.
+//
+// Split-phase use is the point: begin() posts the receives and sends the
+// packed faces, finish() waits and unpacks. Whatever the caller runs in
+// between (interior stencil points, force kernels) overlaps the transfers,
+// which net::reprice prices from the logged event order.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/exec.hpp"
+#include "mpi/comm.hpp"
+#include "net/log.hpp"
+#include "prof/span.hpp"
+
+namespace coe::net {
+
+struct HaloStats {
+  std::size_t exchanges = 0;  ///< begin/finish (or exchange) pairs completed
+  std::size_t messages = 0;   ///< coalesced messages sent by this rank
+  double bytes = 0.0;         ///< payload bytes sent by this rank
+};
+
+/// Per-neighbor face-aggregation plan over one flat field. Faces are
+/// (offset, count) runs of contiguous indices; a neighbor may have any
+/// number of send and recv faces, all carried in one message each way.
+class HaloPlan {
+ public:
+  /// `ctx` prices pack/unpack as fused copy kernels (null = unpriced).
+  explicit HaloPlan(core::ExecContext* ctx = nullptr) : ctx_(ctx) {}
+
+  /// Registers a neighbor; returns its index for add_send/add_recv. Tags
+  /// must be symmetric across ranks (my send_tag == peer's recv_tag).
+  int add_neighbor(int peer, int send_tag, int recv_tag);
+  /// Appends a contiguous face [offset, offset+count) to the neighbor's
+  /// outgoing (packed) or incoming (unpacked) side.
+  void add_send(int neighbor, std::size_t offset, std::size_t count);
+  void add_recv(int neighbor, std::size_t offset, std::size_t count);
+
+  /// Posts all receives, then packs and sends one message per neighbor.
+  void begin(mpi::Communicator& comm, std::span<const double> field);
+  /// Waits for every posted receive and unpacks into `field`.
+  void finish(mpi::Communicator& comm, std::span<double> field);
+  /// begin + finish with nothing in between (the non-overlapped path).
+  void exchange(mpi::Communicator& comm, std::span<double> field);
+
+  void set_profiler(prof::Profiler* p) { prof_ = p; }
+  void set_logger(RankLogger logger) { logger_ = logger; }
+
+  const HaloStats& stats() const { return stats_; }
+  std::size_t neighbor_count() const { return neighbors_.size(); }
+  /// Total doubles sent per exchange (all neighbors).
+  std::size_t send_doubles() const;
+
+ private:
+  struct Face {
+    std::size_t offset;
+    std::size_t count;
+  };
+  struct Neighbor {
+    int peer;
+    int send_tag;
+    int recv_tag;
+    std::vector<Face> sends;
+    std::vector<Face> recvs;
+    std::size_t send_count = 0;  ///< sum of sends[i].count
+    std::size_t recv_count = 0;
+    // Flattened field indices, face-major — built lazily so pack/unpack is
+    // a single gather/scatter kernel regardless of face count.
+    std::vector<std::size_t> send_map;
+    std::vector<std::size_t> recv_map;
+    mpi::Request req;
+  };
+
+  void pack(Neighbor& nb, std::span<const double> field,
+            std::vector<double>& buf);
+  void unpack(Neighbor& nb, std::span<double> field,
+              const std::vector<double>& msg);
+  static void build_map(const std::vector<Face>& faces,
+                        std::vector<std::size_t>& map);
+
+  core::ExecContext* ctx_ = nullptr;
+  prof::Profiler* prof_ = nullptr;
+  RankLogger logger_;
+  std::vector<Neighbor> neighbors_;
+  HaloStats stats_;
+  bool inflight_ = false;
+};
+
+}  // namespace coe::net

@@ -1,0 +1,109 @@
+#pragma once
+// Traffic log for net::reprice (DESIGN.md section 15.4). Drivers and the
+// net collectives append one event per communication action or overlapped
+// compute interval; reprice() replays the log against a ClusterModel's
+// per-link occupancy to produce a timeline estimate alongside the old
+// fully-sequentialized alpha-beta bound.
+//
+// Event conventions:
+//  * Send is logged at post time. `blocking` distinguishes a synchronous
+//    send (the rank's program clock advances past the injection) from an
+//    isend (only the link engine is occupied).
+//  * Recv is logged at its COMPLETION point — for irecv that is the
+//    wait()/waitall() call, which is exactly what lets compute logged
+//    between post and wait hide the transfer in the replay.
+//  * Compute carries modeled kernel seconds (e.g. an ExecContext
+//    simulated-time delta) spent between communication actions.
+//  * Allreduce/Barrier mark legacy shared-buffer collectives that send no
+//    point-to-point messages; reprice prices them on the analytic
+//    ClusterModel collective costs. Collectives built from real messages
+//    (net::allreduce_sum) log their constituent Send/Recv events instead.
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace coe::net {
+
+struct NetEvent {
+  enum class Kind { Send, Recv, Compute, Allreduce, Barrier };
+  Kind kind = Kind::Compute;
+  int rank = 0;      ///< rank whose program order this event belongs to
+  int peer = -1;     ///< destination (Send) / source (Recv)
+  int tag = 0;
+  double bytes = 0.0;    ///< message payload (Send/Recv) or collective size
+  double seconds = 0.0;  ///< Compute only: modeled kernel seconds
+  bool blocking = true;  ///< Send only: synchronous vs posted
+};
+
+/// Thread-safe append-only event log shared by every rank of a world.
+class NetLog {
+ public:
+  void push(const NetEvent& e) {
+    std::lock_guard<std::mutex> lk(mtx_);
+    events_.push_back(e);
+  }
+
+  std::vector<NetEvent> snapshot() const {
+    std::lock_guard<std::mutex> lk(mtx_);
+    return events_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mtx_);
+    return events_.size();
+  }
+
+  void clear() {
+    std::lock_guard<std::mutex> lk(mtx_);
+    events_.clear();
+  }
+
+ private:
+  mutable std::mutex mtx_;
+  std::vector<NetEvent> events_;
+};
+
+/// Per-rank logging facade; every method is a cheap no-op when constructed
+/// without a log, so instrumented drivers behave identically unlogged.
+class RankLogger {
+ public:
+  RankLogger() = default;
+  RankLogger(NetLog* log, int rank) : log_(log), rank_(rank) {}
+
+  explicit operator bool() const { return log_ != nullptr; }
+  int rank() const { return rank_; }
+
+  void send(int dest, int tag, double bytes, bool blocking) const {
+    if (log_) {
+      log_->push({NetEvent::Kind::Send, rank_, dest, tag, bytes, 0.0,
+                  blocking});
+    }
+  }
+  void recv(int src, int tag, double bytes) const {
+    if (log_) {
+      log_->push({NetEvent::Kind::Recv, rank_, src, tag, bytes, 0.0, true});
+    }
+  }
+  void compute(double seconds) const {
+    if (log_ && seconds > 0.0) {
+      log_->push({NetEvent::Kind::Compute, rank_, -1, 0, 0.0, seconds, true});
+    }
+  }
+  void allreduce(double bytes) const {
+    if (log_) {
+      log_->push({NetEvent::Kind::Allreduce, rank_, -1, 0, bytes, 0.0, true});
+    }
+  }
+  void barrier() const {
+    if (log_) {
+      log_->push({NetEvent::Kind::Barrier, rank_, -1, 0, 0.0, 0.0, true});
+    }
+  }
+
+ private:
+  NetLog* log_ = nullptr;
+  int rank_ = 0;
+};
+
+}  // namespace coe::net

@@ -1,0 +1,8 @@
+#pragma once
+// coe::net umbrella — log-P collectives, halo aggregation, and the
+// per-link occupancy repricer (DESIGN.md section 15).
+
+#include "net/collective.hpp"
+#include "net/halo.hpp"
+#include "net/log.hpp"
+#include "net/reprice.hpp"

@@ -1,0 +1,152 @@
+#include "net/reprice.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <tuple>
+#include <vector>
+
+namespace coe::net {
+
+RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
+                      int ranks) {
+  RepriceResult res;
+  if (ranks <= 0) return res;
+  const auto events = log.snapshot();
+
+  // Per-rank program orders. Each rank thread pushes its own events in
+  // order, so the per-rank subsequence of the shared log IS program order.
+  std::vector<std::vector<const NetEvent*>> ev(
+      static_cast<std::size_t>(ranks));
+  for (const auto& e : events) {
+    if (e.rank < 0 || e.rank >= ranks) {
+      res.well_formed = false;
+      continue;
+    }
+    ev[static_cast<std::size_t>(e.rank)].push_back(&e);
+  }
+
+  const double binj = net.effective_injection_bw();
+  auto wire_time = [&](double bytes) {
+    return binj > 0.0 ? bytes / binj : 0.0;
+  };
+
+  std::vector<double> t(ev.size(), 0.0);    // program clock
+  std::vector<double> inj(ev.size(), 0.0);  // NIC injection engine
+  std::vector<double> ej(ev.size(), 0.0);   // NIC ejection engine
+  std::vector<double> comp(ev.size(), 0.0);
+  std::vector<std::size_t> pos(ev.size(), 0);
+  std::map<std::tuple<int, int, int>, std::deque<double>> arrivals;
+  double coll_cost = 0.0;
+  double cross_bytes = 0.0;
+  const int half = ranks / 2;
+
+  auto barrier_cost = [&]() {
+    return ranks > 1 ? 2.0 * std::ceil(std::log2(ranks)) * net.alpha : 0.0;
+  };
+
+  while (true) {
+    bool progress = false;
+    for (std::size_t r = 0; r < ev.size(); ++r) {
+      while (pos[r] < ev[r].size()) {
+        const NetEvent& e = *ev[r][pos[r]];
+        if (e.kind == NetEvent::Kind::Compute) {
+          t[r] += e.seconds;
+          comp[r] += e.seconds;
+        } else if (e.kind == NetEvent::Kind::Send) {
+          const double dur = wire_time(e.bytes);
+          const double start = std::max(t[r], inj[r]);
+          inj[r] = start + dur;
+          arrivals[{static_cast<int>(r), e.peer, e.tag}].push_back(
+              start + net.alpha + dur);
+          if (e.blocking) {
+            t[r] = inj[r];
+          } else {
+            t[r] += net.alpha;  // posting overhead only; the NIC drains it
+          }
+          res.messages += 1;
+          res.bytes += e.bytes;
+          if ((static_cast<int>(r) < half) != (e.peer < half)) {
+            cross_bytes += e.bytes;
+          }
+        } else if (e.kind == NetEvent::Kind::Recv) {
+          auto it = arrivals.find({e.peer, static_cast<int>(r), e.tag});
+          if (it == arrivals.end() || it->second.empty()) break;  // blocked
+          const double arrival = it->second.front();
+          it->second.pop_front();
+          const double done = std::max(arrival, ej[r]) + wire_time(e.bytes);
+          ej[r] = done;
+          // Logged at the wait point: if the rank computed past the
+          // arrival meanwhile, the transfer cost vanishes — overlap.
+          t[r] = std::max(t[r], done);
+        } else {
+          break;  // parked at a collective until everyone arrives
+        }
+        ++pos[r];
+        progress = true;
+      }
+    }
+
+    std::size_t exhausted = 0;
+    std::size_t parked = 0;
+    for (std::size_t r = 0; r < ev.size(); ++r) {
+      if (pos[r] >= ev[r].size()) {
+        ++exhausted;
+        continue;
+      }
+      const auto k = ev[r][pos[r]]->kind;
+      if (k == NetEvent::Kind::Allreduce || k == NetEvent::Kind::Barrier) {
+        ++parked;
+      }
+    }
+    if (exhausted == ev.size()) break;  // replay complete
+
+    if (parked == ev.size()) {
+      // Everyone is at a collective: synchronize and charge the analytic
+      // cost. Mismatched kinds mean the program orders disagree.
+      const auto kind = ev[0][pos[0]]->kind;
+      double bytes = 0.0;
+      double entry = 0.0;
+      for (std::size_t r = 0; r < ev.size(); ++r) {
+        if (ev[r][pos[r]]->kind != kind) res.well_formed = false;
+        bytes = std::max(bytes, ev[r][pos[r]]->bytes);
+        entry = std::max(entry, t[r]);
+      }
+      const double cost =
+          kind == NetEvent::Kind::Allreduce
+              ? net.allreduce(static_cast<std::size_t>(bytes), ranks)
+              : barrier_cost();
+      coll_cost += cost;
+      for (std::size_t r = 0; r < ev.size(); ++r) {
+        t[r] = entry + cost;
+        ++pos[r];
+      }
+      continue;
+    }
+
+    if (!progress) {
+      // Blocked receives with no matching send, or some ranks finished
+      // while others wait on a collective: a deadlocked trace.
+      res.well_formed = false;
+      break;
+    }
+  }
+
+  double makespan = 0.0;
+  for (std::size_t r = 0; r < ev.size(); ++r) {
+    makespan = std::max({makespan, t[r], inj[r], ej[r]});
+    res.compute_s = std::max(res.compute_s, comp[r]);
+  }
+  if (ranks >= 2 && binj > 0.0 && net.bisection_factor > 0.0) {
+    res.bisection_floor_s =
+        cross_bytes / (net.bisection_factor * binj * half);
+  }
+  res.timeline_s = std::max(makespan, res.bisection_floor_s);
+  res.comm_sequential_s = static_cast<double>(res.messages) * net.alpha +
+                          net.beta * res.bytes + coll_cost;
+  res.sequential_s = res.compute_s + res.comm_sequential_s;
+  return res;
+}
+
+}  // namespace coe::net

@@ -1,0 +1,51 @@
+#pragma once
+// Per-link occupancy repricing (DESIGN.md section 15.4). The original
+// mpi.modeled_time is a fully sequentialized bound — every message in the
+// whole run pays alpha + beta*bytes back to back, as if one wire carried
+// everything and nobody computed meanwhile. reprice() replays a NetLog
+// against a ClusterModel with per-rank injection/ejection engines and
+// per-rank program clocks, so messages from different nodes overlap each
+// other and logged compute hides transfers posted before it. The gap
+// between sequential_s and timeline_s is exactly the benefit the paper's
+// communication preparation work (aggregation + overlap) is after.
+
+#include <cstddef>
+
+#include "core/machine.hpp"
+#include "net/log.hpp"
+
+namespace coe::net {
+
+struct RepriceResult {
+  /// Overlap-aware makespan: max over ranks of program clock and link
+  /// engines, floored by the bisection bound.
+  double timeline_s = 0.0;
+  /// The legacy bound for the same traffic: per-rank compute critical path
+  /// plus every message sequentialized at alpha + beta*bytes.
+  double sequential_s = 0.0;
+  double comm_sequential_s = 0.0;  ///< communication part of sequential_s
+  double compute_s = 0.0;          ///< max per-rank logged compute seconds
+  /// Lower bound from traffic crossing the machine midpoint through the
+  /// fabric's bisection (bisection_factor * injection_bw * ranks/2).
+  double bisection_floor_s = 0.0;
+  std::size_t messages = 0;  ///< point-to-point sends in the log
+  double bytes = 0.0;        ///< payload bytes of those sends
+  /// False if the replay deadlocked (recv with no matching send, ranks
+  /// parked on mismatched collectives) — results are then partial.
+  bool well_formed = true;
+
+  double speedup() const {
+    return timeline_s > 0.0 ? sequential_s / timeline_s : 1.0;
+  }
+};
+
+/// Replays `log` over `ranks` program orders against `net`. Event model:
+/// sends occupy the source's injection engine (blocking sends also advance
+/// the program clock through the injection; posted sends charge only alpha),
+/// receives complete at max(arrival, ejection-engine availability) + the
+/// ejection time, collectives are global synchronization points priced by
+/// the analytic ClusterModel cost.
+RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
+                      int ranks);
+
+}  // namespace coe::net

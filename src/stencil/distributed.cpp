@@ -1,7 +1,11 @@
 #include "stencil/distributed.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
+
+#include "core/exec.hpp"
 
 namespace coe::stencil {
 
@@ -10,6 +14,12 @@ namespace {
 constexpr double kC0 = -30.0 / 12.0;
 constexpr double kC1 = 16.0 / 12.0;
 constexpr double kC2 = -1.0 / 12.0;
+
+// Per-point cost of the fused Laplacian + leapfrog update, matching the
+// serial WaveSolver pricing (5-point MACs per axis + time update; 13
+// stencil loads, u_prev load, u_next store).
+constexpr double kFlopsPerPoint = 38.0;
+constexpr double kBytesPerPoint = 120.0;
 
 }  // namespace
 
@@ -30,6 +40,9 @@ DistributedWaveResult distributed_wave_run(
   result.dt = dt;
   result.field.assign(cfg.nx * cfg.ny * cfg.nz, 0.0);
 
+  net::NetLog netlog;
+  std::mutex stats_mtx;
+
   result.traffic = mpi::run(ranks, [&](mpi::Communicator& comm) {
     const auto r = static_cast<std::size_t>(comm.rank());
     const bool first = comm.rank() == 0;
@@ -40,6 +53,56 @@ DistributedWaveResult distributed_wave_run(
     auto idx = [&](std::size_t a, std::size_t j, std::size_t k) {
       return (a * my + j) * mz + k;
     };
+
+    core::ExecContext ctx(core::Backend::Seq, cfg.node);
+    net::RankLogger logger(cfg.cluster ? &netlog : nullptr, comm.rank());
+    double logged_sim = 0.0;
+    auto log_compute = [&] {
+      const double s = ctx.simulated_time();
+      logger.compute(s - logged_sim);
+      logged_sim = s;
+    };
+
+    // Halo plan: the two ghost-deep planes per direction, either one
+    // neighbor carrying both faces (aggregated: 1 message per direction)
+    // or one single-face neighbor per plane (the legacy 2 messages, with
+    // the legacy tags).
+    net::HaloPlan halo(&ctx);
+    halo.set_logger(logger);
+    const int left = comm.rank() - 1, right = comm.rank() + 1;
+    if (cfg.aggregate_halos) {
+      if (!first) {
+        const int nb = halo.add_neighbor(left, /*send=*/30, /*recv=*/31);
+        halo.add_send(nb, 2 * plane, plane);
+        halo.add_send(nb, 3 * plane, plane);
+        halo.add_recv(nb, 0, plane);
+        halo.add_recv(nb, plane, plane);
+      }
+      if (!last) {
+        const int nb = halo.add_neighbor(right, /*send=*/31, /*recv=*/30);
+        halo.add_send(nb, lnx * plane, plane);
+        halo.add_send(nb, (lnx + 1) * plane, plane);
+        halo.add_recv(nb, (lnx + 2) * plane, plane);
+        halo.add_recv(nb, (lnx + 3) * plane, plane);
+      }
+    } else {
+      if (!first) {
+        int nb = halo.add_neighbor(left, 20, 22);
+        halo.add_send(nb, 2 * plane, plane);
+        halo.add_recv(nb, 0, plane);
+        nb = halo.add_neighbor(left, 21, 23);
+        halo.add_send(nb, 3 * plane, plane);
+        halo.add_recv(nb, plane, plane);
+      }
+      if (!last) {
+        int nb = halo.add_neighbor(right, 22, 20);
+        halo.add_send(nb, lnx * plane, plane);
+        halo.add_recv(nb, (lnx + 2) * plane, plane);
+        nb = halo.add_neighbor(right, 23, 21);
+        halo.add_send(nb, (lnx + 1) * plane, plane);
+        halo.add_recv(nb, (lnx + 3) * plane, plane);
+      }
+    }
 
     // Initial condition on the interior.
     for (std::size_t a = 2; a < lnx + 2; ++a) {
@@ -70,32 +133,8 @@ DistributedWaveResult distributed_wave_run(
       }
     };
 
-    auto exchange_x = [&] {
-      auto plane_of = [&](std::size_t a) {
-        return std::vector<double>(u.begin() + std::ptrdiff_t(a * plane),
-                                   u.begin() + std::ptrdiff_t((a + 1) * plane));
-      };
-      auto put_plane = [&](std::size_t a, const std::vector<double>& p) {
-        std::copy(p.begin(), p.end(),
-                  u.begin() + std::ptrdiff_t(a * plane));
-      };
-      if (!first) {
-        comm.send(comm.rank() - 1, /*tag=*/20, plane_of(2));
-        comm.send(comm.rank() - 1, 21, plane_of(3));
-      }
-      if (!last) {
-        comm.send(comm.rank() + 1, 22, plane_of(lnx));
-        comm.send(comm.rank() + 1, 23, plane_of(lnx + 1));
-      }
-      if (!last) {
-        put_plane(lnx + 2, comm.recv(comm.rank() + 1, 20));
-        put_plane(lnx + 3, comm.recv(comm.rank() + 1, 21));
-      }
-      if (!first) {
-        put_plane(0, comm.recv(comm.rank() - 1, 22));
-        put_plane(1, comm.recv(comm.rank() - 1, 23));
-      }
-      // Global x walls: odd reflection (matches the serial solver).
+    // Global x walls: odd reflection (matches the serial solver).
+    auto fill_x_walls = [&] {
       if (first) {
         for (std::size_t p = 0; p < plane; ++p) {
           u[1 * plane + p] = 0.0;
@@ -121,29 +160,55 @@ DistributedWaveResult distributed_wave_run(
       return (lx + ly + lz) * ih2;
     };
 
-    // Taylor backstep for u_prev (v0 = 0).
-    fill_yz_walls();
-    exchange_x();
-    for (std::size_t a = 2; a < lnx + 2; ++a) {
-      for (std::size_t j = 2; j < cfg.ny + 2; ++j) {
-        for (std::size_t k = 2; k < cfg.nz + 2; ++k) {
-          const std::size_t id = idx(a, j, k);
-          up[id] = u[id] + 0.5 * cdt2 * lap_at(id);
-        }
-      }
-    }
-
-    for (int s = 0; s < cfg.steps; ++s) {
-      fill_yz_walls();
-      exchange_x();
-      for (std::size_t a = 2; a < lnx + 2; ++a) {
+    // Runs `upd` over x-planes [a0, a1) and charges the node model. Every
+    // point performs the same arithmetic regardless of which sweep it lands
+    // in, so splitting interior from boundary cannot change a single bit.
+    auto sweep = [&](std::size_t a0, std::size_t a1, auto&& upd) {
+      if (a0 >= a1) return;
+      for (std::size_t a = a0; a < a1; ++a) {
         for (std::size_t j = 2; j < cfg.ny + 2; ++j) {
           for (std::size_t k = 2; k < cfg.nz + 2; ++k) {
-            const std::size_t id = idx(a, j, k);
-            un[id] = 2.0 * u[id] - up[id] + cdt2 * lap_at(id);
+            upd(idx(a, j, k));
           }
         }
       }
+      const auto n =
+          static_cast<double>((a1 - a0) * cfg.ny * cfg.nz);
+      ctx.record_kernel({kFlopsPerPoint * n, kBytesPerPoint * n});
+    };
+
+    // One exchange + update phase. Interior planes [4, lnx) read only
+    // locally-owned data (their a +/- 2 neighbors are non-ghost), so with
+    // overlap enabled they run between begin() and finish(); the four
+    // ghost-adjacent boundary planes run after the halos land.
+    const std::size_t int_lo = 4;
+    const std::size_t int_hi = std::max<std::size_t>(4, lnx);
+    auto comm_step = [&](auto&& upd) {
+      fill_yz_walls();
+      log_compute();
+      halo.begin(comm, u);
+      if (cfg.overlap) sweep(int_lo, int_hi, upd);
+      log_compute();
+      halo.finish(comm, u);
+      fill_x_walls();
+      if (cfg.overlap) {
+        sweep(2, std::min<std::size_t>(4, lnx + 2), upd);
+        sweep(int_hi, lnx + 2, upd);
+      } else {
+        sweep(2, lnx + 2, upd);
+      }
+      log_compute();
+    };
+
+    // Taylor backstep for u_prev (v0 = 0).
+    comm_step([&](std::size_t id) {
+      up[id] = u[id] + 0.5 * cdt2 * lap_at(id);
+    });
+
+    for (int s = 0; s < cfg.steps; ++s) {
+      comm_step([&](std::size_t id) {
+        un[id] = 2.0 * u[id] - up[id] + cdt2 * lap_at(id);
+      });
       std::swap(up, u);
       std::swap(u, un);
     }
@@ -158,7 +223,16 @@ DistributedWaveResult distributed_wave_run(
         }
       }
     }
+
+    std::lock_guard<std::mutex> lk(stats_mtx);
+    result.halo.exchanges += halo.stats().exchanges;
+    result.halo.messages += halo.stats().messages;
+    result.halo.bytes += halo.stats().bytes;
   });
+
+  if (cfg.cluster != nullptr) {
+    result.modeled = net::reprice(netlog, *cfg.cluster, ranks);
+  }
   return result;
 }
 

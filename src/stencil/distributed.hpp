@@ -3,12 +3,21 @@
 // over an x-slab decomposition with 2-deep halo exchange on the coe::mpi
 // substrate -- the multi-node structure of the paper's 256-node Hayward
 // runs, with real messages between real ranks.
+//
+// The communication preparation knobs reproduce the paper's scaling work:
+// `aggregate_halos` coalesces the two halo planes per direction into one
+// message (halving the per-step message count on this 1-D decomposition),
+// and `overlap` computes the interior points — which read no ghost data —
+// between posting and completing the exchange. Both paths are bit-identical
+// in the field they produce; only the modeled communication cost moves,
+// which net::reprice quantifies when a ClusterModel is attached.
 
 #include <functional>
 #include <vector>
 
 #include "core/machine.hpp"
 #include "mpi/comm.hpp"
+#include "net/net.hpp"
 
 namespace coe::stencil {
 
@@ -20,12 +29,25 @@ struct DistributedWaveConfig {
   double c = 1.0;
   int steps = 20;
   double dt_factor = 0.5;  ///< fraction of the CFL-stable dt
+
+  /// One coalesced message per neighbor per step (both halo planes packed)
+  /// instead of one message per plane.
+  bool aggregate_halos = true;
+  /// Update ghost-independent interior points between halo begin/finish.
+  bool overlap = true;
+  /// Node model pricing each rank's compute (and the pack/unpack kernels).
+  hsim::MachineModel node = hsim::machines::host();
+  /// When set, the run's traffic is logged and replayed through
+  /// net::reprice against this interconnect (not owned; may be null).
+  const hsim::ClusterModel* cluster = nullptr;
 };
 
 struct DistributedWaveResult {
   std::vector<double> field;  ///< global interior field, x-major
   mpi::TrafficStats traffic;
   double dt = 0.0;
+  net::HaloStats halo;         ///< summed over ranks
+  net::RepriceResult modeled;  ///< populated when cfg.cluster is set
 };
 
 /// Runs `ranks` threads, each owning an x-slab with zero-Dirichlet global

@@ -79,6 +79,24 @@ TEST(Mpi, AllreduceMax) {
   });
 }
 
+TEST(Mpi, AllreduceMaxNativeMatchesLegacy) {
+  // The native single-pass max must be value-identical to the retired
+  // gather/broadcast-through-rank-0 path, and cost zero messages where the
+  // legacy path paid 2*(P-1).
+  const int ranks = 5;
+  auto stats = mpi::run(ranks, [&](mpi::Communicator& comm) {
+    const double mine = std::sin(double(comm.rank() + 1)) * 1e3;
+    const double native = comm.allreduce_max(mine);
+    const double legacy = comm.allreduce_max_legacy(mine);
+    EXPECT_EQ(native, legacy);  // bitwise
+    std::vector<double> v{mine, -mine};
+    comm.allreduce_max(v);
+    EXPECT_EQ(v[0], native);
+  });
+  // All messages came from the legacy path's two phases.
+  EXPECT_EQ(stats.messages, 2u * (ranks - 1));
+}
+
 TEST(Mpi, BarrierSynchronizes) {
   std::atomic<int> before{0}, after_min{100};
   mpi::run(4, [&](mpi::Communicator& comm) {

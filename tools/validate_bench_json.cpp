@@ -14,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -98,6 +99,67 @@ void check_mem_metrics(const Json& metrics) {
   scan("gauges", gauges);
   if (evictions == 0.0 && spill > 0.0) {
     fail("mem.spill_bytes > 0 with mem.evictions == 0");
+  }
+}
+
+/// The net.* metrics family (DESIGN.md section 15) nests sweep keys under
+/// arbitrary prefixes (net.allreduce.p64.rd.messages, net.headline.*), so
+/// the pinned schema is the LEAF name: every net.* key must end in a known
+/// quantity, hold a non-negative number, and per prefix the repriced
+/// timeline can never exceed the sequentialized bound it replaces, nor can
+/// a prefix report messages without bytes (or vice versa) when both exist.
+void check_net_metrics(const Json& metrics) {
+  static const std::vector<std::string> leaves = {
+      "messages",   "bytes",           "reductions",
+      "timeline_s", "sequential_s",    "comm_sequential_s",
+      "compute_s",  "bisection_floor_s", "speedup",
+      "schedule_speedup", "modeled_s", "bitwise"};
+  for (const char* section : {"counters", "gauges"}) {
+    if (!metrics.contains(section) ||
+        metrics.at(section).type() != Json::Type::Object) {
+      continue;
+    }
+    // prefix -> (timeline, sequential, messages, bytes); -1 = absent.
+    struct NetGroup {
+      double timeline = -1.0, sequential = -1.0;
+      double messages = -1.0, bytes = -1.0;
+    };
+    std::map<std::string, NetGroup> groups;
+    for (const auto& [key, v] : metrics.at(section).fields()) {
+      if (key.rfind("net.", 0) != 0) continue;
+      const auto dot = key.rfind('.');
+      const std::string leaf = key.substr(dot + 1);
+      const std::string prefix = key.substr(0, dot);
+      if (std::find(leaves.begin(), leaves.end(), leaf) == leaves.end()) {
+        fail("metrics." + std::string(section) + " has unknown net.* leaf \"" +
+             key + "\"");
+        continue;
+      }
+      if (v.type() != Json::Type::Number) {
+        fail("metrics." + std::string(section) + "." + key +
+             " is not a number");
+        continue;
+      }
+      const double x = v.as_number();
+      if (x < 0.0) fail(key + " is negative");
+      if (leaf == "bitwise" && x != 0.0 && x != 1.0) {
+        fail(key + " is not a 0/1 flag");
+      }
+      if (leaf == "timeline_s") groups[prefix].timeline = x;
+      if (leaf == "sequential_s") groups[prefix].sequential = x;
+      if (leaf == "messages") groups[prefix].messages = x;
+      if (leaf == "bytes") groups[prefix].bytes = x;
+    }
+    for (const auto& [prefix, g] : groups) {
+      if (g.timeline >= 0.0 && g.sequential >= 0.0 &&
+          g.timeline > g.sequential * (1.0 + 1e-9)) {
+        fail(prefix + ".timeline_s exceeds " + prefix + ".sequential_s");
+      }
+      if (g.messages >= 0.0 && g.bytes >= 0.0 &&
+          (g.messages > 0.0) != (g.bytes > 0.0)) {
+        fail(prefix + ": messages and bytes disagree about traffic");
+      }
+    }
   }
 }
 
@@ -347,6 +409,7 @@ bool validate(const std::string& path) {
     check_metrics_section(metrics, "gauges");
     check_metrics_section(metrics, "histograms");
     check_mem_metrics(metrics);
+    check_net_metrics(metrics);
   }
 
   if (!root.contains("trace")) {
