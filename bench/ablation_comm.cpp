@@ -16,6 +16,14 @@
 //     the unprepared one; the field must be bitwise identical across all
 //     legs, because aggregation and overlap reorder messages, not
 //     arithmetic.
+//  3. Straggler hunt on the same 64-rank run: rank 37 deliberately models
+//     4x the compute cost per point (the arithmetic is untouched — the
+//     field stays bitwise identical), every rank logs its traffic and
+//     kernel trace, and coe::xray merges the logs into one report. The
+//     merged view must name the injected straggler, blame its neighbors'
+//     lost time on comm-wait (they stall in halo receives; they are not
+//     slow themselves), and its distributed critical path must tile the
+//     replay makespan exactly.
 #include <cmath>
 #include <cstdio>
 #include <mutex>
@@ -25,6 +33,7 @@
 #include "core/table.hpp"
 #include "net/net.hpp"
 #include "stencil/distributed.hpp"
+#include "xray/xray.hpp"
 
 #include "bench/bench_main.hpp"
 
@@ -191,5 +200,69 @@ COE_BENCH_MAIN(ablation_comm) {
   bench.add_machine("wave64_sequential_bound", pm.sequential_s);
   bench.add_machine("wave64_unprepared_timeline",
                     unprepared.modeled.timeline_s);
-  return bitwise && pm.well_formed && formulas_hold ? 0 : 1;
+
+  // --- 3. Straggler hunt: skewed wave through the coe::xray merge --------
+  cfg.aggregate_halos = true;
+  cfg.overlap = true;
+  cfg.skew_rank = 37;
+  cfg.skew_factor = 4.0;
+  cfg.trace_ranks = true;
+  net::NetLog xlog;
+  cfg.log = &xlog;
+  const auto skewed = stencil::distributed_wave_run(ranks, cfg, u0);
+  const bool skew_bitwise = skewed.field == ref_field;
+
+  xray::MergeInputs in;
+  in.log = &xlog;
+  in.cluster = &wire;
+  in.ranks = ranks;
+  in.rank_traces = &skewed.rank_traces;
+  const auto rep = xray::analyze(in);
+  std::printf("\n%s\n",
+              xray::straggler_report(
+                  rep, "skewed wave, 64 ranks, rank 37 at 4.0x compute")
+                  .c_str());
+
+  const double tol = 1e-9 * std::max(1.0, rep.makespan_s);
+  const bool path_tiles =
+      rep.well_formed && std::abs(rep.critical_s - rep.makespan_s) <= tol;
+  // Rank 37's extra time is its own compute; its neighbors' extra time is
+  // waiting for rank 37's halos. Both neighbors must spend more on
+  // comm-wait than on idle imbalance, and a larger comm-wait share than
+  // the straggler itself (the straggler computes while they wait).
+  const auto& b36 = rep.blame[36];
+  const auto& b37 = rep.blame[37];
+  const auto& b38 = rep.blame[38];
+  auto comm_s = [](const xray::RankBlame& b) {
+    return b.seconds[static_cast<std::size_t>(xray::Blame::CommWait)];
+  };
+  auto idle_s = [](const xray::RankBlame& b) {
+    return b.seconds[static_cast<std::size_t>(xray::Blame::Imbalance)];
+  };
+  const bool neighbors_wait =
+      comm_s(b36) > idle_s(b36) && comm_s(b38) > idle_s(b38) &&
+      b36.pct(xray::Blame::CommWait) > b37.pct(xray::Blame::CommWait) &&
+      b38.pct(xray::Blame::CommWait) > b37.pct(xray::Blame::CommWait);
+  const bool xray_ok = rep.well_formed && rep.straggler_rank == 37 &&
+                       rep.imbalance_ratio > 2.0 && path_tiles &&
+                       neighbors_wait && skew_bitwise;
+  std::printf("xray verdict: straggler rank %d (ratio %.2f), critical path"
+              " %s the makespan (|%.3g s|), neighbors %s on comm-wait,"
+              " skewed field bitwise %s -> %s\n",
+              rep.straggler_rank, rep.imbalance_ratio,
+              path_tiles ? "tiles" : "DOES NOT tile",
+              rep.critical_s - rep.makespan_s,
+              neighbors_wait ? "majority" : "NOT majority",
+              skew_bitwise ? "identical" : "DIFFER",
+              xray_ok ? "ok" : "FAIL");
+
+  xray::publish(rep, bench.metrics());
+  bench.add_machine("wave64_skewed_makespan", rep.makespan_s);
+  if (bench.json_enabled() &&
+      !xray::write_artifacts(bench.out_dir(), "ablation_comm", rep,
+                             &skewed.rank_traces)) {
+    std::fprintf(stderr, "ablation_comm: failed to write XRAY artifacts\n");
+  }
+
+  return bitwise && pm.well_formed && formulas_hold && xray_ok ? 0 : 1;
 }

@@ -36,6 +36,15 @@ ReplicatedResult replicated_md_run(int ranks, const ReplicatedConfig& cfg) {
     const std::size_t hi = n * (r + 1) / nr;
 
     net::NetStats stats;
+    net::RankLogger logger(cfg.log, comm.rank());
+    double logged_sim = 0.0;
+    // Flush the ctx simulated-time delta accrued since the last comm
+    // action into the log, so the replay sees compute between reductions.
+    auto log_compute = [&] {
+      const double s = ctx.simulated_time();
+      logger.compute(s - logged_sim);
+      logged_sim = s;
+    };
     double energy = 0.0, virial = 0.0;
 
     // Partial forces over this rank's row slice, then the global sum:
@@ -45,24 +54,30 @@ ReplicatedResult replicated_md_run(int ranks, const ReplicatedConfig& cfg) {
     auto forces = [&] {
       p.zero_forces();
       const PairResult pr = compute_pair_forces(ctx, p, box, nl, pot, lo, hi);
+      log_compute();
       if (cfg.aggregate) {
         std::copy(p.fx.begin(), p.fx.end(), agg.begin());
         std::copy(p.fy.begin(), p.fy.end(), agg.begin() + n);
         std::copy(p.fz.begin(), p.fz.end(), agg.begin() + 2 * n);
         agg[3 * n] = pr.energy;
         agg[3 * n + 1] = pr.virial;
-        net::allreduce_sum(comm, agg, cfg.algo, &stats);
+        net::allreduce_sum(comm, agg, cfg.algo, &stats, logger);
         std::copy(agg.begin(), agg.begin() + n, p.fx.begin());
         std::copy(agg.begin() + n, agg.begin() + 2 * n, p.fy.begin());
         std::copy(agg.begin() + 2 * n, agg.begin() + 3 * n, p.fz.begin());
         energy = agg[3 * n];
         virial = agg[3 * n + 1];
       } else {
-        net::allreduce_sum(comm, std::span<double>(p.fx), cfg.algo, &stats);
-        net::allreduce_sum(comm, std::span<double>(p.fy), cfg.algo, &stats);
-        net::allreduce_sum(comm, std::span<double>(p.fz), cfg.algo, &stats);
-        energy = net::allreduce_sum(comm, pr.energy, cfg.algo, &stats);
-        virial = net::allreduce_sum(comm, pr.virial, cfg.algo, &stats);
+        net::allreduce_sum(comm, std::span<double>(p.fx), cfg.algo, &stats,
+                           logger);
+        net::allreduce_sum(comm, std::span<double>(p.fy), cfg.algo, &stats,
+                           logger);
+        net::allreduce_sum(comm, std::span<double>(p.fz), cfg.algo, &stats,
+                           logger);
+        energy =
+            net::allreduce_sum(comm, pr.energy, cfg.algo, &stats, logger);
+        virial =
+            net::allreduce_sum(comm, pr.virial, cfg.algo, &stats, logger);
       }
     };
 
@@ -92,6 +107,8 @@ ReplicatedResult replicated_md_run(int ranks, const ReplicatedConfig& cfg) {
       }
     }
 
+    log_compute();  // tail: the final half-kick after the last reduction
+
     std::lock_guard<std::mutex> lk(mtx);
     result.net.messages += stats.messages;
     result.net.bytes += stats.bytes;
@@ -104,6 +121,9 @@ ReplicatedResult replicated_md_run(int ranks, const ReplicatedConfig& cfg) {
       result.temperature = p.temperature();
     }
   });
+  if (cfg.log != nullptr && cfg.cluster != nullptr) {
+    result.modeled = net::reprice(*cfg.log, *cfg.cluster, ranks);
+  }
   return result;
 }
 

@@ -15,6 +15,7 @@
 #include "core/machine.hpp"
 #include "mpi/comm.hpp"
 #include "net/collective.hpp"
+#include "net/reprice.hpp"
 
 namespace coe::md {
 
@@ -33,6 +34,14 @@ struct ReplicatedConfig {
   /// length-independent trees (RecursiveDoubling, Naive, Central) keep the
   /// aggregated and separate forms bitwise identical to each other.
   net::AllreduceAlgo algo = net::AllreduceAlgo::RecursiveDoubling;
+
+  /// When set, every rank logs its collective traffic and the modeled
+  /// compute deltas between reductions here (for coe::xray merging; not
+  /// owned, may be null).
+  net::NetLog* log = nullptr;
+  /// When set alongside `log`, result.modeled carries the reprice summary
+  /// of the logged traffic (not owned, may be null).
+  const hsim::ClusterModel* cluster = nullptr;
 };
 
 struct ReplicatedResult {
@@ -44,6 +53,7 @@ struct ReplicatedResult {
   mpi::TrafficStats traffic;
   net::NetStats net;         ///< summed over ranks
   std::size_t reductions_per_step = 0;
+  net::RepriceResult modeled;  ///< populated when cfg.log and cfg.cluster set
 };
 
 /// Runs `ranks` replicated-data ranks for cfg.steps velocity-Verlet steps

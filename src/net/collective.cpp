@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
+
+#include "core/exec.hpp"
 
 namespace coe::net {
 
@@ -263,6 +266,23 @@ double allreduce_max(mpi::Communicator& comm, double v, AllreduceAlgo algo,
                      NetStats* stats, RankLogger logger) {
   allreduce(comm, std::span<double>(&v, 1), Op::Max, algo, stats, logger);
   return v;
+}
+
+std::function<void(std::span<double>)> logged_reduce(
+    mpi::Communicator& comm, AllreduceAlgo algo, NetStats* stats,
+    RankLogger logger, core::ExecContext* ctx) {
+  // The cursor lives on the heap so copies of the std::function share it
+  // (la::cg copies its SolveOptions).
+  auto cursor =
+      std::make_shared<double>(ctx ? ctx->simulated_time() : 0.0);
+  return [&comm, algo, stats, logger, ctx, cursor](std::span<double> vals) {
+    if (ctx != nullptr) {
+      const double s = ctx->simulated_time();
+      logger.compute(s - *cursor);
+      *cursor = s;
+    }
+    allreduce_sum(comm, vals, algo, stats, logger);
+  };
 }
 
 }  // namespace coe::net

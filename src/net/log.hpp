@@ -19,6 +19,7 @@
 //    ClusterModel collective costs. Collectives built from real messages
 //    (net::allreduce_sum) log their constituent Send/Recv events instead.
 
+#include <chrono>
 #include <cstddef>
 #include <mutex>
 #include <vector>
@@ -34,14 +35,30 @@ struct NetEvent {
   double bytes = 0.0;    ///< message payload (Send/Recv) or collective size
   double seconds = 0.0;  ///< Compute only: modeled kernel seconds
   bool blocking = true;  ///< Send only: synchronous vs posted
+  /// Wall-clock seconds since the owning log's epoch, stamped at the
+  /// event's completion point (Recv only: the wait that delivered the
+  /// message). -1 when unstamped. Purely diagnostic — reprice ignores it;
+  /// coe::xray uses it to cross-check that the modeled merge agrees with
+  /// the order the waits actually completed in.
+  double t_wall = -1.0;
 };
 
 /// Thread-safe append-only event log shared by every rank of a world.
 class NetLog {
  public:
+  NetLog() : epoch_(std::chrono::steady_clock::now()) {}
+
   void push(const NetEvent& e) {
     std::lock_guard<std::mutex> lk(mtx_);
     events_.push_back(e);
+  }
+
+  /// Monotonic wall seconds since this log was created — the clock Recv
+  /// completion stamps are expressed in.
+  double now_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
   }
 
   std::vector<NetEvent> snapshot() const {
@@ -61,6 +78,7 @@ class NetLog {
 
  private:
   mutable std::mutex mtx_;
+  std::chrono::steady_clock::time_point epoch_;
   std::vector<NetEvent> events_;
 };
 
@@ -82,7 +100,8 @@ class RankLogger {
   }
   void recv(int src, int tag, double bytes) const {
     if (log_) {
-      log_->push({NetEvent::Kind::Recv, rank_, src, tag, bytes, 0.0, true});
+      log_->push({NetEvent::Kind::Recv, rank_, src, tag, bytes, 0.0, true,
+                  log_->now_s()});
     }
   }
   void compute(double seconds) const {

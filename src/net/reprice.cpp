@@ -5,26 +5,35 @@
 #include <deque>
 #include <map>
 #include <tuple>
-#include <vector>
+#include <utility>
 
 namespace coe::net {
 
-RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
-                      int ranks) {
-  RepriceResult res;
-  if (ranks <= 0) return res;
-  const auto events = log.snapshot();
+Replay replay(const NetLog& log, const hsim::ClusterModel& net, int ranks) {
+  Replay rep;
+  rep.ranks = ranks;
+  RepriceResult& res = rep.result;
+  if (ranks <= 0) return rep;
+  const auto snapshot = log.snapshot();
+  rep.events.resize(snapshot.size());
+  rep.rank_events.assign(static_cast<std::size_t>(ranks), {});
 
   // Per-rank program orders. Each rank thread pushes its own events in
   // order, so the per-rank subsequence of the shared log IS program order.
-  std::vector<std::vector<const NetEvent*>> ev(
-      static_cast<std::size_t>(ranks));
-  for (const auto& e : events) {
+  for (std::size_t i = 0; i < snapshot.size(); ++i) {
+    const NetEvent& e = snapshot[i];
+    rep.events[i].ev = e;
     if (e.rank < 0 || e.rank >= ranks) {
       res.well_formed = false;
+      rep.diagnostics.push_back(
+          "event " + std::to_string(i) + " has out-of-range rank " +
+          std::to_string(e.rank) + " (world has " + std::to_string(ranks) +
+          " ranks)");
       continue;
     }
-    ev[static_cast<std::size_t>(e.rank)].push_back(&e);
+    auto& order = rep.rank_events[static_cast<std::size_t>(e.rank)];
+    rep.events[i].pos = order.size();
+    order.push_back(i);
   }
 
   const double binj = net.effective_injection_bw();
@@ -32,12 +41,16 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
     return binj > 0.0 ? bytes / binj : 0.0;
   };
 
-  std::vector<double> t(ev.size(), 0.0);    // program clock
-  std::vector<double> inj(ev.size(), 0.0);  // NIC injection engine
-  std::vector<double> ej(ev.size(), 0.0);   // NIC ejection engine
-  std::vector<double> comp(ev.size(), 0.0);
-  std::vector<std::size_t> pos(ev.size(), 0);
-  std::map<std::tuple<int, int, int>, std::deque<double>> arrivals;
+  const std::size_t nr = rep.rank_events.size();
+  std::vector<double> t(nr, 0.0);    // program clock
+  std::vector<double> inj(nr, 0.0);  // NIC injection engine
+  std::vector<double> ej(nr, 0.0);   // NIC ejection engine
+  std::vector<double> comp(nr, 0.0);
+  std::vector<std::size_t> pos(nr, 0);
+  // In-flight messages: (arrival time, index of the Send in rep.events),
+  // FIFO per (src, dst, tag) — the matching the mailbox substrate enforces.
+  std::map<std::tuple<int, int, int>, std::deque<std::pair<double, std::size_t>>>
+      arrivals;
   double coll_cost = 0.0;
   double cross_bytes = 0.0;
   const int half = ranks / 2;
@@ -48,18 +61,25 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
 
   while (true) {
     bool progress = false;
-    for (std::size_t r = 0; r < ev.size(); ++r) {
-      while (pos[r] < ev[r].size()) {
-        const NetEvent& e = *ev[r][pos[r]];
+    for (std::size_t r = 0; r < nr; ++r) {
+      while (pos[r] < rep.rank_events[r].size()) {
+        const std::size_t ei = rep.rank_events[r][pos[r]];
+        ReplayEvent& re = rep.events[ei];
+        const NetEvent& e = re.ev;
+        re.t_before = t[r];
         if (e.kind == NetEvent::Kind::Compute) {
           t[r] += e.seconds;
           comp[r] += e.seconds;
         } else if (e.kind == NetEvent::Kind::Send) {
           const double dur = wire_time(e.bytes);
           const double start = std::max(t[r], inj[r]);
+          re.inj_before = inj[r];
+          re.wire_start = start;
+          re.wire_end = start + dur;
+          re.arrival = start + net.alpha + dur;
           inj[r] = start + dur;
           arrivals[{static_cast<int>(r), e.peer, e.tag}].push_back(
-              start + net.alpha + dur);
+              {start + net.alpha + dur, ei});
           if (e.blocking) {
             t[r] = inj[r];
           } else {
@@ -73,9 +93,15 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
         } else if (e.kind == NetEvent::Kind::Recv) {
           auto it = arrivals.find({e.peer, static_cast<int>(r), e.tag});
           if (it == arrivals.end() || it->second.empty()) break;  // blocked
-          const double arrival = it->second.front();
+          const auto [arrival, send_index] = it->second.front();
           it->second.pop_front();
-          const double done = std::max(arrival, ej[r]) + wire_time(e.bytes);
+          re.arrival = arrival;
+          re.ej_before = ej[r];
+          re.eject_start = std::max(arrival, ej[r]);
+          re.match = static_cast<std::ptrdiff_t>(send_index);
+          rep.events[send_index].match = static_cast<std::ptrdiff_t>(ei);
+          const double done = re.eject_start + wire_time(e.bytes);
+          re.done = done;
           ej[r] = done;
           // Logged at the wait point: if the rank computed past the
           // arrival meanwhile, the transfer cost vanishes — overlap.
@@ -83,6 +109,7 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
         } else {
           break;  // parked at a collective until everyone arrives
         }
+        re.t_after = t[r];
         ++pos[r];
         progress = true;
       }
@@ -90,36 +117,56 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
 
     std::size_t exhausted = 0;
     std::size_t parked = 0;
-    for (std::size_t r = 0; r < ev.size(); ++r) {
-      if (pos[r] >= ev[r].size()) {
+    for (std::size_t r = 0; r < nr; ++r) {
+      if (pos[r] >= rep.rank_events[r].size()) {
         ++exhausted;
         continue;
       }
-      const auto k = ev[r][pos[r]]->kind;
+      const auto k = rep.events[rep.rank_events[r][pos[r]]].ev.kind;
       if (k == NetEvent::Kind::Allreduce || k == NetEvent::Kind::Barrier) {
         ++parked;
       }
     }
-    if (exhausted == ev.size()) break;  // replay complete
+    if (exhausted == nr) break;  // replay complete
 
-    if (parked == ev.size()) {
+    if (parked == nr) {
       // Everyone is at a collective: synchronize and charge the analytic
       // cost. Mismatched kinds mean the program orders disagree.
-      const auto kind = ev[0][pos[0]]->kind;
+      const auto kind = rep.events[rep.rank_events[0][pos[0]]].ev.kind;
       double bytes = 0.0;
       double entry = 0.0;
-      for (std::size_t r = 0; r < ev.size(); ++r) {
-        if (ev[r][pos[r]]->kind != kind) res.well_formed = false;
-        bytes = std::max(bytes, ev[r][pos[r]]->bytes);
+      const std::ptrdiff_t group =
+          static_cast<std::ptrdiff_t>(rep.groups.size());
+      rep.groups.emplace_back();
+      for (std::size_t r = 0; r < nr; ++r) {
+        const std::size_t ei = rep.rank_events[r][pos[r]];
+        const NetEvent& e = rep.events[ei].ev;
+        if (e.kind != kind) {
+          res.well_formed = false;
+          rep.diagnostics.push_back(
+              "rank " + std::to_string(r) + " is parked at a " +
+              (e.kind == NetEvent::Kind::Allreduce ? std::string("allreduce")
+                                                   : std::string("barrier")) +
+              " while rank 0 is at a different collective kind");
+        }
+        bytes = std::max(bytes, e.bytes);
         entry = std::max(entry, t[r]);
+        rep.groups.back().push_back(ei);
       }
       const double cost =
           kind == NetEvent::Kind::Allreduce
               ? net.allreduce(static_cast<std::size_t>(bytes), ranks)
               : barrier_cost();
       coll_cost += cost;
-      for (std::size_t r = 0; r < ev.size(); ++r) {
+      for (std::size_t r = 0; r < nr; ++r) {
+        const std::size_t ei = rep.rank_events[r][pos[r]];
+        ReplayEvent& re = rep.events[ei];
+        re.t_before = t[r];
+        re.entry = entry;
+        re.cost = cost;
+        re.group = group;
         t[r] = entry + cost;
+        re.t_after = t[r];
         ++pos[r];
       }
       continue;
@@ -129,12 +176,38 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
       // Blocked receives with no matching send, or some ranks finished
       // while others wait on a collective: a deadlocked trace.
       res.well_formed = false;
+      for (std::size_t r = 0; r < nr; ++r) {
+        if (pos[r] >= rep.rank_events[r].size()) continue;
+        const NetEvent& e = rep.events[rep.rank_events[r][pos[r]]].ev;
+        if (e.kind == NetEvent::Kind::Recv) {
+          rep.diagnostics.push_back(
+              "rank " + std::to_string(r) + " is blocked in recv(src=" +
+              std::to_string(e.peer) + ", tag=" + std::to_string(e.tag) +
+              ") with no matching send — truncated or malformed log");
+        } else {
+          rep.diagnostics.push_back(
+              "rank " + std::to_string(r) +
+              " is parked at a collective that not every rank reaches");
+        }
+      }
       break;
     }
   }
 
+  // Sends nobody consumed: harmless to the legacy summary (the injection
+  // engine still carried them) but a malformed merge — a receiver-side log
+  // was truncated, or tags disagree.
+  for (const auto& [key, q] : arrivals) {
+    if (q.empty()) continue;
+    rep.diagnostics.push_back(
+        std::to_string(q.size()) + " unmatched send(s) rank " +
+        std::to_string(std::get<0>(key)) + " -> rank " +
+        std::to_string(std::get<1>(key)) + " tag " +
+        std::to_string(std::get<2>(key)));
+  }
+
   double makespan = 0.0;
-  for (std::size_t r = 0; r < ev.size(); ++r) {
+  for (std::size_t r = 0; r < nr; ++r) {
     makespan = std::max({makespan, t[r], inj[r], ej[r]});
     res.compute_s = std::max(res.compute_s, comp[r]);
   }
@@ -142,11 +215,20 @@ RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
     res.bisection_floor_s =
         cross_bytes / (net.bisection_factor * binj * half);
   }
+  rep.finish = std::move(t);
+  rep.inj = std::move(inj);
+  rep.ej = std::move(ej);
+  rep.makespan_s = makespan;
   res.timeline_s = std::max(makespan, res.bisection_floor_s);
   res.comm_sequential_s = static_cast<double>(res.messages) * net.alpha +
                           net.beta * res.bytes + coll_cost;
   res.sequential_s = res.compute_s + res.comm_sequential_s;
-  return res;
+  return rep;
+}
+
+RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
+                      int ranks) {
+  return replay(log, net, ranks).result;
 }
 
 }  // namespace coe::net

@@ -8,8 +8,17 @@
 // other and logged compute hides transfers posted before it. The gap
 // between sequential_s and timeline_s is exactly the benefit the paper's
 // communication preparation work (aggregation + overlap) is after.
+//
+// replay() is the same machinery with the schedule kept: every event's
+// program-clock interval, the wire occupancy of each send, the matched
+// send index behind each receive, and the per-rank finish clocks. It is
+// the substrate coe::xray (DESIGN.md section 16) builds the merged
+// timeline and the distributed critical path on; reprice() is a thin
+// summary of it, bit-identical to the original single-pass version.
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 #include "core/machine.hpp"
 #include "net/log.hpp"
@@ -39,12 +48,69 @@ struct RepriceResult {
   }
 };
 
-/// Replays `log` over `ranks` program orders against `net`. Event model:
-/// sends occupy the source's injection engine (blocking sends also advance
-/// the program clock through the injection; posted sends charge only alpha),
-/// receives complete at max(arrival, ejection-engine availability) + the
-/// ejection time, collectives are global synchronization points priced by
-/// the analytic ClusterModel cost.
+/// One NetEvent placed on the replayed timeline. Times are replay seconds
+/// (every rank's program clock starts at 0).
+struct ReplayEvent {
+  NetEvent ev;               ///< the logged event (copied out of the log)
+  std::size_t pos = 0;       ///< position in its rank's program order
+  double t_before = 0.0;     ///< rank program clock on reaching the event
+  double t_after = 0.0;      ///< rank program clock after the event
+  // Send only: occupancy of the source's injection engine, and the time
+  // the message lands at the destination (wire_end + alpha).
+  double wire_start = 0.0;
+  double wire_end = 0.0;
+  double arrival = 0.0;
+  double inj_before = 0.0;   ///< injection engine availability at the send
+  // Recv only: ejection engine availability, the matched send's arrival,
+  // the drain interval, and the completion point.
+  double ej_before = 0.0;
+  double eject_start = 0.0;
+  double done = 0.0;
+  // Collective only: the synchronization entry time (max program clock
+  // over ranks) and the analytic cost charged on top of it.
+  double entry = 0.0;
+  double cost = 0.0;
+  /// Recv: index (into Replay::events) of the matched Send; Send: index of
+  /// the matching Recv once one consumed the message. -1 = unmatched.
+  std::ptrdiff_t match = -1;
+  /// Collective: id shared by the P events of one synchronization.
+  std::ptrdiff_t group = -1;
+};
+
+/// The full replayed schedule of a NetLog.
+struct Replay {
+  int ranks = 0;
+  std::vector<ReplayEvent> events;  ///< log order (same order as the NetLog)
+  /// Per-rank indices into `events`, program order. rank_events[r][p] is
+  /// rank r's p-th event.
+  std::vector<std::vector<std::size_t>> rank_events;
+  /// Per-collective-group member indices into `events` (one per rank).
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<double> finish;  ///< per-rank final program clock
+  std::vector<double> inj;     ///< per-rank final injection-engine time
+  std::vector<double> ej;      ///< per-rank final ejection-engine time
+  /// Event makespan: max over ranks of program clock and both engines
+  /// (the quantity the bisection floor is applied to).
+  double makespan_s = 0.0;
+  RepriceResult result;
+  /// Human-readable replay problems: blocked receives, unmatched sends,
+  /// events with out-of-range ranks, mismatched collectives. Non-empty
+  /// means the log was malformed or truncated; `result.well_formed` is
+  /// false for the subset of these the legacy reprice() also detected
+  /// (unmatched *sends* alone do not deadlock a replay, so they surface
+  /// only here).
+  std::vector<std::string> diagnostics;
+};
+
+/// Replays `log` over `ranks` program orders against `net`, keeping the
+/// full schedule. Event model: sends occupy the source's injection engine
+/// (blocking sends also advance the program clock through the injection;
+/// posted sends charge only alpha), receives complete at max(arrival,
+/// ejection-engine availability) + the ejection time, collectives are
+/// global synchronization points priced by the analytic ClusterModel cost.
+Replay replay(const NetLog& log, const hsim::ClusterModel& net, int ranks);
+
+/// Summary-only replay: exactly replay(...).result.
 RepriceResult reprice(const NetLog& log, const hsim::ClusterModel& net,
                       int ranks);
 

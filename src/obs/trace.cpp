@@ -28,23 +28,35 @@ const char* to_string(TraceEvent::Bound b) {
   return "?";
 }
 
+std::string process_metadata_events(int rank, const std::string& label) {
+  // Chrome metadata rows: name the pid and pin its sort order so a merged
+  // multi-rank document lists ranks in rank order, not arrival order. The
+  // ts field is not required by the format but keeps every event uniform
+  // for schema validators.
+  const std::string pid = std::to_string(rank);
+  return "{\"name\":\"process_name\",\"ph\":\"M\",\"ts\":0,\"pid\":" + pid +
+         ",\"args\":{\"name\":\"" + Json::escape(label) +
+         "\"}},{\"name\":\"process_sort_index\",\"ph\":\"M\",\"ts\":0,"
+         "\"pid\":" + pid + ",\"args\":{\"sort_index\":" + pid + "}}";
+}
+
 void write_chrome_trace(std::ostream& os, const TraceBuffer& buf,
                         const std::vector<std::string>* extra_events) {
-  os << "{\"traceEvents\":[";
-  bool first = true;
+  const int pid = buf.rank();
+  os << "{\"traceEvents\":["
+     << process_metadata_events(pid, "rank " + std::to_string(pid));
   for (const auto& e : buf.snapshot()) {
-    if (!first) os << ",";
-    first = false;
-    // Complete ("X") events, one viewer row per simulated stream so
-    // cross-stream overlap reads directly in the timeline. Markers become
-    // zero-duration events on the same row; `args.dep` keeps the ordering
-    // edge recoverable.
+    os << ",";
+    // Complete ("X") events, one viewer process per rank and one row per
+    // simulated stream so cross-stream overlap reads directly in the
+    // timeline. Markers become zero-duration events on the same row;
+    // `args.dep` keeps the ordering edge recoverable.
     const int tid = e.stream;
     os << "{\"name\":\"" << Json::escape(e.label) << "\",\"cat\":\""
        << Json::escape(e.phase) << "\",\"ph\":\"X\",\"ts\":"
        << Json::number(e.t_start * 1e6).dump()
        << ",\"dur\":" << Json::number(e.duration * 1e6).dump()
-       << ",\"pid\":0,\"tid\":" << tid << ",\"args\":{\"kind\":\""
+       << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"args\":{\"kind\":\""
        << to_string(e.kind) << "\",\"bound\":\"" << to_string(e.bound)
        << "\",\"backend\":\"" << Json::escape(e.backend)
        << "\",\"flops\":" << Json::number(e.flops).dump()
@@ -53,15 +65,14 @@ void write_chrome_trace(std::ostream& os, const TraceBuffer& buf,
   }
   if (extra_events) {
     for (const auto& ev : *extra_events) {
-      if (!first) os << ",";
-      first = false;
-      os << ev;
+      os << "," << ev;
     }
   }
   os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":"
      << buf.dropped() << ",\"machine\":\"" << Json::escape(buf.source())
      << "\",\"launch_overhead_s\":"
      << Json::number(buf.launch_overhead()).dump()
+     << ",\"rank\":" << pid
      << ",\"retained_events\":" << buf.size() << "}}";
 }
 
@@ -150,6 +161,9 @@ TraceBuffer parse_chrome_trace(std::string_view text) {
       overhead = meta.at("launch_overhead_s").as_number();
     }
     buf.set_source(std::move(machine), overhead);
+    if (meta.contains("rank")) {
+      buf.set_rank(static_cast<int>(meta.at("rank").as_number()));
+    }
     if (meta.contains("dropped_events")) {
       buf.note_dropped(static_cast<std::uint64_t>(
           meta.at("dropped_events").as_number()));

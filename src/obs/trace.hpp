@@ -101,6 +101,13 @@ class TraceBuffer {
   const std::string& source() const { return source_; }
   double launch_overhead() const { return launch_overhead_; }
 
+  /// The mpi rank this buffer's events belong to. Exported as the Chrome
+  /// trace `pid` (with process_name / process_sort_index metadata rows) so
+  /// per-rank traces merge into one ordered, labeled multi-process
+  /// timeline; parse_chrome_trace restores it. 0 = single-process trace.
+  void set_rank(int rank) { rank_ = rank; }
+  int rank() const { return rank_; }
+
   /// Retained events in chronological order (oldest first).
   std::vector<TraceEvent> snapshot() const {
     std::vector<TraceEvent> out;
@@ -123,8 +130,15 @@ class TraceBuffer {
   std::uint64_t dropped_ = 0;
   std::string source_;
   double launch_overhead_ = 0.0;
+  int rank_ = 0;
   std::vector<TraceEvent> ring_;
 };
+
+/// Pre-serialized Chrome metadata rows ("ph":"M" process_name +
+/// process_sort_index) naming viewer process `rank` as `label` and pinning
+/// its sort order to the rank id. write_chrome_trace emits them for its own
+/// buffer; multi-rank mergers (coe::xray) emit one pair per rank.
+std::string process_metadata_events(int rank, const std::string& label);
 
 /// Writes the buffer as a Chrome trace_event JSON document (the
 /// `about:tracing` / Perfetto "JSON Array Format" with a `traceEvents`

@@ -40,11 +40,19 @@ DistributedWaveResult distributed_wave_run(
   result.dt = dt;
   result.field.assign(cfg.nx * cfg.ny * cfg.nz, 0.0);
 
-  net::NetLog netlog;
+  net::NetLog local_log;
+  net::NetLog& netlog = cfg.log ? *cfg.log : local_log;
   std::mutex stats_mtx;
+  if (cfg.trace_ranks) {
+    result.rank_traces.resize(static_cast<std::size_t>(ranks));
+  }
 
   result.traffic = mpi::run(ranks, [&](mpi::Communicator& comm) {
     const auto r = static_cast<std::size_t>(comm.rank());
+    // Modeled-cost skew only: every rank still executes identical
+    // arithmetic, so the field cannot change.
+    const double skew =
+        comm.rank() == cfg.skew_rank ? cfg.skew_factor : 1.0;
     const bool first = comm.rank() == 0;
     const bool last = comm.rank() + 1 == ranks;
     const std::size_t mx = lnx + 4;
@@ -55,7 +63,13 @@ DistributedWaveResult distributed_wave_run(
     };
 
     core::ExecContext ctx(core::Backend::Seq, cfg.node);
-    net::RankLogger logger(cfg.cluster ? &netlog : nullptr, comm.rank());
+    if (cfg.trace_ranks) {
+      result.rank_traces[r].set_rank(comm.rank());
+      ctx.set_trace(&result.rank_traces[r]);
+      ctx.set_phase("stencil");
+    }
+    net::RankLogger logger((cfg.cluster || cfg.log) ? &netlog : nullptr,
+                           comm.rank());
     double logged_sim = 0.0;
     auto log_compute = [&] {
       const double s = ctx.simulated_time();
@@ -174,7 +188,7 @@ DistributedWaveResult distributed_wave_run(
       }
       const auto n =
           static_cast<double>((a1 - a0) * cfg.ny * cfg.nz);
-      ctx.record_kernel({kFlopsPerPoint * n, kBytesPerPoint * n});
+      ctx.record_kernel({kFlopsPerPoint * n * skew, kBytesPerPoint * n * skew});
     };
 
     // One exchange + update phase. Interior planes [4, lnx) read only
@@ -186,10 +200,14 @@ DistributedWaveResult distributed_wave_run(
     auto comm_step = [&](auto&& upd) {
       fill_yz_walls();
       log_compute();
+      if (cfg.trace_ranks) ctx.set_phase("halo");
       halo.begin(comm, u);
+      if (cfg.trace_ranks) ctx.set_phase("stencil");
       if (cfg.overlap) sweep(int_lo, int_hi, upd);
       log_compute();
+      if (cfg.trace_ranks) ctx.set_phase("halo");
       halo.finish(comm, u);
+      if (cfg.trace_ranks) ctx.set_phase("stencil");
       fill_x_walls();
       if (cfg.overlap) {
         sweep(2, std::min<std::size_t>(4, lnx + 2), upd);

@@ -18,6 +18,7 @@
 #include "core/machine.hpp"
 #include "mpi/comm.hpp"
 #include "net/net.hpp"
+#include "obs/trace.hpp"
 
 namespace coe::stencil {
 
@@ -40,6 +41,21 @@ struct DistributedWaveConfig {
   /// When set, the run's traffic is logged and replayed through
   /// net::reprice against this interconnect (not owned; may be null).
   const hsim::ClusterModel* cluster = nullptr;
+  /// When set alongside `cluster`, the raw per-rank traffic log is also
+  /// appended here so coe::xray can merge the run offline (the `modeled`
+  /// summary alone cannot be merged; not owned, may be null).
+  net::NetLog* log = nullptr;
+
+  /// Deliberate compute skew for straggler-hunt experiments: rank
+  /// `skew_rank` (when >= 0) models `skew_factor`x the cost per point.
+  /// Only the priced workload changes — the arithmetic and the produced
+  /// field stay bit-identical to the unskewed run.
+  int skew_rank = -1;
+  double skew_factor = 1.0;
+
+  /// Collect one rank-stamped obs::TraceBuffer per rank
+  /// (result.rank_traces) with "stencil"/"halo" phases, for xray merging.
+  bool trace_ranks = false;
 };
 
 struct DistributedWaveResult {
@@ -48,6 +64,9 @@ struct DistributedWaveResult {
   double dt = 0.0;
   net::HaloStats halo;         ///< summed over ranks
   net::RepriceResult modeled;  ///< populated when cfg.cluster is set
+  /// Per-rank kernel traces (cfg.trace_ranks): entry r is rank r's buffer,
+  /// rank-stamped for the merged Chrome export.
+  std::vector<obs::TraceBuffer> rank_traces;
 };
 
 /// Runs `ranks` threads, each owning an x-slab with zero-Dirichlet global

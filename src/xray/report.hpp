@@ -1,0 +1,54 @@
+#pragma once
+// Exporters for the merged cluster view: a human-readable straggler /
+// imbalance report, the coe-xray-v1 JSON document (the XRAY_*.json
+// artifact distributed benches write next to their BENCH_ JSON), the
+// merged multi-rank Chrome trace (one viewer process per rank, matched
+// Send/Recv pairs drawn as flow arrows), and the xray.* metrics family.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "xray/merge.hpp"
+
+namespace coe::xray {
+
+/// Fixed-width text report: run summary, critical-path edge breakdown,
+/// imbalance ratio + top-k stragglers, the fleet five-way blame split, a
+/// per-rank blame table (stragglers plus the worst comm-waiters), the
+/// per-phase imbalance table, and any diagnostics.
+std::string straggler_report(const Report& rep, const std::string& title);
+
+/// Builds the coe-xray-v1 document.
+obs::Json report_json(const Report& rep, const std::string& name);
+
+/// Writes the merged Chrome trace: per-rank process metadata rows
+/// (process_name "rank N", sort index N), every replayed net event as a
+/// complete event on a dedicated per-rank "net" row, one s->f flow pair
+/// per matched Send/Recv, and — when per-rank kernel traces are given —
+/// each rank's kernels/transfers mapped from rank-local simulated time
+/// onto the global replay clock via that rank's logged compute windows.
+void write_merged_chrome_trace(
+    std::ostream& os, const Report& rep,
+    const std::vector<obs::TraceBuffer>* rank_traces = nullptr);
+
+/// Same, as a string.
+std::string merged_chrome_trace_json(
+    const Report& rep,
+    const std::vector<obs::TraceBuffer>* rank_traces = nullptr);
+
+/// Publishes the merged view as xray.* gauges (ranks, makespan/timeline,
+/// critical path + coverage, message counts, imbalance ratio, straggler
+/// rank/share, and the fleet blame percentages).
+void publish(const Report& rep, obs::MetricsRegistry& metrics);
+
+/// Writes XRAY_<name>.json (the coe-xray-v1 report) and, when traces are
+/// given, XTRACE_<name>.json (the merged Chrome trace) into `dir`.
+/// Returns false if either file could not be opened.
+bool write_artifacts(const std::string& dir, const std::string& name,
+                     const Report& rep,
+                     const std::vector<obs::TraceBuffer>* rank_traces = nullptr);
+
+}  // namespace coe::xray

@@ -1,0 +1,6 @@
+#pragma once
+// Umbrella header for coe::xray — cluster-wide trace merge, distributed
+// critical path, and straggler/imbalance attribution (DESIGN.md §16).
+
+#include "xray/merge.hpp"
+#include "xray/report.hpp"

@@ -135,15 +135,21 @@ TEST(ChromeTrace, ExportIsValidAndComplete) {
   const auto doc = obs::Json::parse(obs::chrome_trace_json(buf));
   ASSERT_TRUE(doc.contains("traceEvents"));
   const auto& events = doc.at("traceEvents").items();
-  ASSERT_EQ(events.size(), buf.size());
-  for (const auto& e : events) {
+  // The export opens with the process_name/process_sort_index metadata
+  // pair naming this buffer's rank, then one complete event per record.
+  ASSERT_EQ(events.size(), buf.size() + 2);
+  EXPECT_EQ(events[0].at("ph").as_string(), "M");
+  EXPECT_EQ(events[0].at("name").as_string(), "process_name");
+  EXPECT_EQ(events[1].at("name").as_string(), "process_sort_index");
+  for (std::size_t i = 2; i < events.size(); ++i) {
+    const auto& e = events[i];
     EXPECT_EQ(e.at("ph").as_string(), "X");
     EXPECT_GE(e.at("dur").as_number(), 0.0);
     EXPECT_FALSE(e.at("name").as_string().empty());
     EXPECT_TRUE(e.at("args").contains("bound"));
   }
   // ts/dur are microseconds of simulated time.
-  EXPECT_NEAR(events[0].at("dur").as_number(),
+  EXPECT_NEAR(events[2].at("dur").as_number(),
               buf.snapshot()[0].duration * 1e6, 1e-6);
   EXPECT_EQ(doc.at("otherData").at("dropped_events").as_number(), 0.0);
 }

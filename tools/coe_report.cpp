@@ -3,17 +3,21 @@
 //   coe_report [--check-coverage=FRAC] [--json] FILE...
 //
 // Each FILE is either a TRACE_*.json (Chrome trace written by
-// obs::write_chrome_trace) or a BENCH_*.json (coe-bench-v1); for a bench
-// report the referenced trace file is resolved next to it. The tool
-// re-runs the prof::analyze critical-path extraction on the parsed trace
-// and prints the text bottleneck report (or, with --json, the coe-prof-v1
-// document) for each input.
+// obs::write_chrome_trace), a BENCH_*.json (coe-bench-v1), or an
+// XRAY_*.json (coe-xray-v1 merged cluster report). For a bench report the
+// referenced trace file is resolved next to it. Traces get the
+// prof::analyze critical-path extraction and the text bottleneck report
+// (or, with --json, the coe-prof-v1 document); xray reports are rendered
+// as the straggler/imbalance summary (with --json, echoed verbatim —
+// they already are the document).
 //
 // --check-coverage=FRAC turns the tool into a CI gate: it exits nonzero
 // unless the extracted critical path accounts for at least FRAC of the
 // trace window on every input (ISSUE 4 pins CI at 0.995). A dropped-event
 // count > 0 also fails the gate, since attribution over a truncated ring
-// is not trustworthy.
+// is not trustworthy. For an xray report the gate instead requires the
+// merged view to be well-formed (every send matched, no truncated rank
+// logs) with distributed critical-path coverage >= FRAC of the makespan.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -100,7 +104,116 @@ bool load_trace(const std::string& path, coe::obs::TraceBuffer* buf,
   return false;
 }
 
+double num_or(const Json& o, const char* key, double fallback) {
+  return o.contains(key) && o.at(key).type() == Json::Type::Number
+             ? o.at(key).as_number()
+             : fallback;
+}
+
+/// Renders a coe-xray-v1 merged cluster report (already analyzed by
+/// xray::analyze; this just formats the document) and applies the
+/// well-formed + coverage gate.
+bool report_xray(const std::string& path, const Json& root,
+                 const Options& opt) {
+  if (opt.json) {
+    std::printf("%s\n", root.dump().c_str());
+  } else {
+    const std::string name =
+        root.contains("name") ? root.at("name").as_string() : path;
+    const bool wf = root.contains("well_formed") &&
+                    root.at("well_formed").type() == Json::Type::Bool &&
+                    root.at("well_formed").as_bool();
+    std::printf("%s (merged cluster view)\n", name.c_str());
+    std::printf("  ranks: %.0f   messages: %.0f matched, %.0f unmatched"
+                "   well-formed: %s\n",
+                num_or(root, "ranks", 0), num_or(root, "matched", 0),
+                num_or(root, "unmatched_sends", 0), wf ? "yes" : "NO");
+    std::printf("  makespan: %.6e s   distributed critical path: %.6e s"
+                " (%.2f%% coverage, %.0f steps)\n",
+                num_or(root, "makespan_s", 0),
+                num_or(root, "critical_s", 0),
+                100.0 * num_or(root, "coverage", 0),
+                num_or(root, "critical_steps", 0));
+    if (root.contains("imbalance") &&
+        root.at("imbalance").type() == Json::Type::Object) {
+      const Json& im = root.at("imbalance");
+      std::printf("  imbalance: max/mean busy %.2fx   dominant straggler:"
+                  " rank %.0f\n",
+                  num_or(im, "ratio", 1.0),
+                  num_or(im, "straggler_rank", -1.0));
+    }
+    if (root.contains("fleet_blame") &&
+        root.at("fleet_blame").type() == Json::Type::Object &&
+        root.at("fleet_blame").contains("pct")) {
+      const Json& pct = root.at("fleet_blame").at("pct");
+      std::printf("  fleet blame: compute %.1f%%  memory %.1f%%  launch"
+                  " %.1f%%  comm-wait %.1f%%  imbalance %.1f%%\n",
+                  num_or(pct, "compute", 0), num_or(pct, "memory", 0),
+                  num_or(pct, "launch_transfer", 0),
+                  num_or(pct, "comm_wait", 0),
+                  num_or(pct, "imbalance", 0));
+    }
+    if (root.contains("stragglers") &&
+        root.at("stragglers").type() == Json::Type::Array) {
+      for (const Json& s : root.at("stragglers").items()) {
+        std::printf("    rank %4.0f: %.3e s busy  (%.1f%% of fleet)\n",
+                    num_or(s, "rank", -1), num_or(s, "busy_s", 0),
+                    100.0 * num_or(s, "share", 0));
+      }
+    }
+    if (root.contains("diagnostics") &&
+        root.at("diagnostics").type() == Json::Type::Array) {
+      for (const Json& d : root.at("diagnostics").items()) {
+        std::printf("  DIAGNOSTIC: %s\n", d.as_string().c_str());
+      }
+    }
+  }
+
+  bool ok = true;
+  if (opt.min_coverage >= 0.0) {
+    const bool wf = root.contains("well_formed") &&
+                    root.at("well_formed").type() == Json::Type::Bool &&
+                    root.at("well_formed").as_bool();
+    const double cov = num_or(root, "coverage", 0.0);
+    if (!wf) {
+      std::fprintf(stderr, "coe_report: GATE FAIL %s: merged view is not"
+                   " well-formed (unmatched or truncated rank logs)\n",
+                   path.c_str());
+      ok = false;
+    }
+    if (cov < opt.min_coverage) {
+      std::fprintf(stderr, "coe_report: GATE FAIL %s: distributed critical"
+                   " path covers %.4f%% of the makespan, need >= %.4f%%\n",
+                   path.c_str(), 100.0 * cov, 100.0 * opt.min_coverage);
+      ok = false;
+    }
+    if (ok) {
+      std::fprintf(stderr, "coe_report: gate PASS %s (xray coverage"
+                   " %.4f%%)\n", path.c_str(), 100.0 * cov);
+    }
+  }
+  return ok;
+}
+
 bool report_one(const std::string& path, const Options& opt) {
+  // Merged cluster reports are dispatched by schema, everything else by
+  // the trace loader.
+  {
+    std::string text;
+    if (read_file(path, &text)) {
+      Json root;
+      try {
+        root = Json::parse(text);
+      } catch (const std::exception&) {
+        root = Json();  // let load_trace produce the error message
+      }
+      if (root.type() == Json::Type::Object && root.contains("schema") &&
+          root.at("schema").type() == Json::Type::String &&
+          root.at("schema").as_string() == "coe-xray-v1") {
+        return report_xray(path, root, opt);
+      }
+    }
+  }
   coe::obs::TraceBuffer buf;
   std::string title;
   if (!load_trace(path, &buf, &title)) return false;

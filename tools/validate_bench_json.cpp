@@ -6,7 +6,9 @@
 // as a Chrome trace (TRACE_*.json, including the otherData metadata
 // write_chrome_trace stamps), schema "coe-prof-v1" as a PROF_*.json
 // attribution document (including the phase percentage breakdowns summing
-// to 100), and schema "coe-bench-v1" as a bench report (DESIGN.md
+// to 100), schema "coe-xray-v1" as an XRAY_*.json merged cluster report
+// (blame splits summing to 100, critical-path steps abutting in time,
+// coverage <= 1), and schema "coe-bench-v1" as a bench report (DESIGN.md
 // section 10.3). Reports per-file PASS/FAIL; exits nonzero if any file
 // fails. When a bench report references a trace file that exists next to
 // it, the trace is parsed and checked too.
@@ -160,6 +162,232 @@ void check_net_metrics(const Json& metrics) {
         fail(prefix + ": messages and bytes disagree about traffic");
       }
     }
+  }
+}
+
+/// One five-way blame entry (a per-rank row or the fleet mean): the five
+/// pct values must exist and, when the entry has any time, sum to 100.
+void check_blame_entry(const Json& b, const std::string& where) {
+  if (b.type() != Json::Type::Object) return fail(where + " is not an object");
+  check_number(b, "busy_s");
+  if (!b.contains("dominant") ||
+      b.at("dominant").type() != Json::Type::String) {
+    fail(where + " missing dominant");
+  }
+  if (!b.contains("pct") || b.at("pct").type() != Json::Type::Object) {
+    return fail(where + " missing pct object");
+  }
+  const Json& pct = b.at("pct");
+  double sum = 0.0;
+  bool have_all = true;
+  for (const char* key :
+       {"compute", "memory", "launch_transfer", "comm_wait", "imbalance"}) {
+    if (!pct.contains(key) || pct.at(key).type() != Json::Type::Number) {
+      fail(where + ".pct missing " + key);
+      have_all = false;
+      continue;
+    }
+    sum += pct.at(key).as_number();
+  }
+  if (have_all && sum > 0.0 && std::fabs(sum - 100.0) > 1e-6) {
+    fail(where + ".pct sums to " + std::to_string(sum) + ", not 100");
+  }
+}
+
+/// coe-xray-v1 (XRAY_*.json): the merged cluster-wide report. Enforces the
+/// invariants the xray analysis is built on: every blame split sums to
+/// 100%, the imbalance ratio is a max/mean (>= 1 whenever defined), the
+/// straggler rank indexes a real rank, the critical path covers at most
+/// the makespan, and its steps run earliest-first with abutting slices.
+void check_xray(const Json& root) {
+  if (!root.contains("name") ||
+      root.at("name").type() != Json::Type::String) {
+    fail("missing string \"name\"");
+  }
+  check_number(root, "ranks");
+  check_number(root, "makespan_s");
+  check_number(root, "timeline_s");
+  check_number(root, "messages");
+  check_number(root, "matched");
+  check_number(root, "unmatched_sends");
+  check_number(root, "critical_s");
+  check_number(root, "critical_steps");
+  check_number(root, "coverage");
+  if (!root.contains("well_formed") ||
+      root.at("well_formed").type() != Json::Type::Bool) {
+    fail("missing boolean well_formed");
+  }
+  if (!root.contains("diagnostics") ||
+      root.at("diagnostics").type() != Json::Type::Array) {
+    fail("missing diagnostics array");
+  }
+  if (root.contains("coverage") &&
+      root.at("coverage").type() == Json::Type::Number &&
+      root.at("coverage").as_number() > 1.0 + 1e-6) {
+    fail("coverage exceeds 1");
+  }
+
+  const double ranks =
+      root.contains("ranks") && root.at("ranks").type() == Json::Type::Number
+          ? root.at("ranks").as_number()
+          : 0.0;
+  if (!root.contains("imbalance") ||
+      root.at("imbalance").type() != Json::Type::Object) {
+    fail("missing imbalance object");
+  } else {
+    const Json& im = root.at("imbalance");
+    check_number(im, "mean_busy_s");
+    check_number(im, "max_busy_s");
+    if (!im.contains("ratio") ||
+        im.at("ratio").type() != Json::Type::Number) {
+      fail("imbalance.ratio missing");
+    } else if (im.at("ratio").as_number() < 1.0 - 1e-9) {
+      fail("imbalance.ratio below 1");
+    }
+    if (!im.contains("straggler_rank") ||
+        im.at("straggler_rank").type() != Json::Type::Number) {
+      fail("imbalance.straggler_rank missing");
+    } else {
+      const double r = im.at("straggler_rank").as_number();
+      if (r < -1.0 || r >= ranks) {
+        fail("imbalance.straggler_rank out of range");
+      }
+    }
+  }
+
+  if (!root.contains("blame") ||
+      root.at("blame").type() != Json::Type::Array) {
+    fail("missing blame array");
+  } else {
+    const auto& blame = root.at("blame").items();
+    if (static_cast<double>(blame.size()) != ranks) {
+      fail("blame array size != ranks");
+    }
+    for (std::size_t i = 0; i < blame.size(); ++i) {
+      check_blame_entry(blame[i], "blame[" + std::to_string(i) + "]");
+    }
+  }
+  if (!root.contains("fleet_blame")) {
+    fail("missing fleet_blame");
+  } else {
+    check_blame_entry(root.at("fleet_blame"), "fleet_blame");
+  }
+
+  if (!root.contains("critical_edge_seconds") ||
+      root.at("critical_edge_seconds").type() != Json::Type::Object) {
+    fail("missing critical_edge_seconds object");
+  }
+  if (!root.contains("critical_path") ||
+      root.at("critical_path").type() != Json::Type::Array) {
+    fail("missing critical_path array");
+  } else {
+    const auto& steps = root.at("critical_path").items();
+    double prev_end = 0.0;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      const Json& s = steps[i];
+      const std::string where = "critical_path[" + std::to_string(i) + "]";
+      if (s.type() != Json::Type::Object || !s.contains("start_s") ||
+          !s.contains("end_s") || !s.contains("rank") ||
+          !s.contains("via") || !s.contains("kind")) {
+        fail(where + " malformed");
+        continue;
+      }
+      const double lo = s.at("start_s").as_number();
+      const double hi = s.at("end_s").as_number();
+      if (hi < lo - 1e-12) fail(where + " ends before it starts");
+      // Earliest-first and gap-free: each step picks up exactly where the
+      // previous one left off (that is what makes the lengths sum to the
+      // makespan).
+      if (std::fabs(lo - prev_end) > 1e-9) {
+        fail(where + " does not abut the previous step");
+      }
+      prev_end = hi;
+      const double r = s.at("rank").as_number();
+      if (r < 0.0 || r >= ranks) fail(where + " rank out of range");
+    }
+  }
+
+  if (!root.contains("stragglers") ||
+      root.at("stragglers").type() != Json::Type::Array) {
+    fail("missing stragglers array");
+  }
+  if (!root.contains("phases") ||
+      root.at("phases").type() != Json::Type::Array) {
+    fail("missing phases array");
+  } else {
+    const auto& phases = root.at("phases").items();
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      const Json& p = phases[i];
+      const std::string where = "phases[" + std::to_string(i) + "]";
+      if (p.type() != Json::Type::Object || !p.contains("name")) {
+        fail(where + " malformed");
+        continue;
+      }
+      check_number(p, "mean_s");
+      check_number(p, "max_s");
+      if (p.contains("ratio") &&
+          p.at("ratio").type() == Json::Type::Number &&
+          p.at("ratio").as_number() < 1.0 - 1e-9) {
+        fail(where + ".ratio below 1");
+      }
+    }
+  }
+}
+
+/// The xray.* gauges xray::publish emits are a fixed schema like mem.*:
+/// unknown keys fail, the blame percentages must sum to 100 when any are
+/// present, and coverage/ratio obey the same bounds as the document.
+void check_xray_metrics(const Json& metrics) {
+  static const std::vector<std::string> known = {
+      "xray.ranks",           "xray.well_formed",
+      "xray.messages",        "xray.matched",
+      "xray.unmatched_sends", "xray.makespan_s",
+      "xray.timeline_s",      "xray.critical_s",
+      "xray.coverage",        "xray.imbalance_ratio",
+      "xray.straggler_rank",  "xray.straggler_share",
+      "xray.blame.compute_pct",
+      "xray.blame.memory_pct",
+      "xray.blame.launch_transfer_pct",
+      "xray.blame.comm_wait_pct",
+      "xray.blame.imbalance_pct"};
+  if (!metrics.contains("gauges") ||
+      metrics.at("gauges").type() != Json::Type::Object) {
+    return;
+  }
+  double blame_sum = 0.0;
+  int blame_keys = 0;
+  for (const auto& [key, v] : metrics.at("gauges").fields()) {
+    if (key.rfind("xray.", 0) != 0) continue;
+    if (std::find(known.begin(), known.end(), key) == known.end()) {
+      fail("metrics.gauges has unknown xray.* key \"" + key + "\"");
+      continue;
+    }
+    if (v.type() != Json::Type::Number) {
+      fail("metrics.gauges." + key + " is not a number");
+      continue;
+    }
+    const double x = v.as_number();
+    // straggler_rank may be -1 (no compute anywhere); everything else is
+    // non-negative.
+    if (x < 0.0 && key != "xray.straggler_rank") fail(key + " is negative");
+    if (key == "xray.coverage" && x > 1.0 + 1e-6) {
+      fail("xray.coverage exceeds 1");
+    }
+    if (key == "xray.imbalance_ratio" && x < 1.0 - 1e-9) {
+      fail("xray.imbalance_ratio below 1");
+    }
+    if (key == "xray.well_formed" && x != 0.0 && x != 1.0) {
+      fail("xray.well_formed is not a 0/1 flag");
+    }
+    if (key.rfind("xray.blame.", 0) == 0) {
+      blame_sum += x;
+      ++blame_keys;
+    }
+  }
+  if (blame_keys == 5 && blame_sum > 0.0 &&
+      std::fabs(blame_sum - 100.0) > 1e-6) {
+    fail("xray.blame.* percentages sum to " + std::to_string(blame_sum) +
+         ", not 100");
   }
 }
 
@@ -377,6 +605,18 @@ bool validate(const std::string& path) {
     for (const auto& e : g_errors) std::printf("  - %s\n", e.c_str());
     return false;
   }
+  if (root.type() == Json::Type::Object && root.contains("schema") &&
+      root.at("schema").type() == Json::Type::String &&
+      root.at("schema").as_string() == "coe-xray-v1") {
+    check_xray(root);
+    if (g_errors.empty()) {
+      std::printf("PASS %s (xray)\n", path.c_str());
+      return true;
+    }
+    std::printf("FAIL %s:\n", path.c_str());
+    for (const auto& e : g_errors) std::printf("  - %s\n", e.c_str());
+    return false;
+  }
 
   if (!root.contains("schema") ||
       root.at("schema").type() != Json::Type::String ||
@@ -410,6 +650,7 @@ bool validate(const std::string& path) {
     check_metrics_section(metrics, "histograms");
     check_mem_metrics(metrics);
     check_net_metrics(metrics);
+    check_xray_metrics(metrics);
   }
 
   if (!root.contains("trace")) {
