@@ -1,0 +1,347 @@
+// Failure-recovery ablation (DESIGN.md §17): what surviving a rank kill
+// costs, and what the alternative strategies trade, on the phoenix
+// survivable wave driver.
+//
+//  1. MTBF sweep, abort-restart vs shrink vs spare: one seeded MTBF-driven
+//     kill schedule (resil::make_rank_fault_hook, edge-triggered so an
+//     adopting spare is not instantly re-killed) is replayed against three
+//     recovery strategies on an 8-rank wave. "Abort-restart" is the
+//     checkpoint-free limit of the same machinery: with no committed
+//     generation, every fault rolls the world back to step 0 and replays
+//     the whole run. Every leg must end bitwise identical to the
+//     fault-free field; the currency is the repriced timeline plus the
+//     replayed-work and repair ledgers.
+//  2. Buddy-traffic pin: in a fault-free run every rank ships exactly one
+//     aggregated replication message per committed generation, so
+//     buddy_msgs must equal commits x ranks exactly — the two-phase
+//     commit never produces partial rounds.
+//  3. 64-rank acceptance leg (the ISSUE 10 gate): the distributed wave at
+//     64 ranks rides through a seeded mid-run kill of rank 37 under both
+//     repair policies and must reproduce the fault-free field bitwise.
+//     The spare leg logs everything: recovery traffic (epoch-salted tags)
+//     must appear in the net::replay timeline and on the distributed
+//     critical path, and the "phoenix/repair" span must show up in the
+//     per-rank traces the xray merge consumes.
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "net/net.hpp"
+#include "phoenix/phoenix.hpp"
+#include "resil/fault.hpp"
+#include "stencil/survivable.hpp"
+#include "xray/xray.hpp"
+
+#include "bench/bench_main.hpp"
+
+using namespace coe;
+
+namespace {
+
+double u0(double x, double y, double z) {
+  return std::sin(M_PI * x) * std::sin(2.0 * M_PI * y) * std::sin(M_PI * z);
+}
+
+/// resil's MTBF hook is level-triggered (fires on every op past the
+/// budget), which would instantly re-kill a spare that adopts the victim's
+/// logical id and continues its op count. Survivable runs need each rank
+/// to die at most once.
+std::function<bool(int, std::size_t)> edge_triggered(
+    std::function<bool(int, std::size_t)> hook, int ranks) {
+  auto fired = std::make_shared<std::vector<std::atomic<bool>>>(
+      static_cast<std::size_t>(ranks));
+  return [hook = std::move(hook), fired](int rank, std::size_t ops) {
+    std::atomic<bool>& f = (*fired)[static_cast<std::size_t>(rank)];
+    if (f.load(std::memory_order_relaxed) || !hook(rank, ops)) return false;
+    f.store(true, std::memory_order_relaxed);
+    return true;
+  };
+}
+
+constexpr int kSweepWorkers = 8;
+constexpr int kSweepSteps = 12;   // driver runs 13 (step 0 is the backstep)
+constexpr int kSweepCkpt = 3;     // commits at steps 3, 6, 9, 12
+// Budget draws beyond this never fire. 26 is below every rank's op count
+// in every leg (an edge rank in the checkpoint-free leg performs 27), so
+// the victim set is identical across the three strategies.
+constexpr double kMaxOps = 26.0;
+// Seed 275's schedule spans the interesting regimes: no kills at MTBF
+// 600, one post-commit kill (rank 3, op 18) at 200, and at 80 one
+// pre-first-commit kill (rank 3, op 8: nothing committed yet, so recovery
+// degenerates to restart-from-scratch under every strategy) plus one
+// post-commit kill (rank 5, op 19). The victims are ring-non-adjacent, so
+// a buddy copy of every part survives.
+constexpr std::uint64_t kSeed = 275;
+
+stencil::SurvivableWaveConfig sweep_cfg(phoenix::RepairPolicy policy,
+                                        int spares, int ckpt_every) {
+  stencil::SurvivableWaveConfig cfg;
+  cfg.nx = 64;
+  cfg.ny = 8;
+  cfg.nz = 8;
+  cfg.steps = kSweepSteps;
+  cfg.workers = kSweepWorkers;
+  cfg.spares = spares;
+  cfg.policy = policy;
+  cfg.ckpt_every = ckpt_every;
+  cfg.mpi.timeout_seconds = 10.0;
+  cfg.mpi.max_retries = 1;
+  return cfg;
+}
+
+}  // namespace
+
+COE_BENCH_MAIN(ablation_failover) {
+  std::printf("=== Failure recovery: abort-restart vs shrink vs spare"
+              " substitution ===\n\n");
+
+  const auto wire8 = hsim::clusters::ethernet(kSweepWorkers);
+
+  // --- Fault-free reference + buddy-traffic formula pin ------------------
+  net::NetLog ref_log;
+  auto ref_cfg = sweep_cfg(phoenix::RepairPolicy::Shrink, 0, kSweepCkpt);
+  ref_cfg.cluster = &wire8;
+  ref_cfg.log = &ref_log;
+  const auto ref = stencil::survivable_wave_run(ref_cfg, u0);
+
+  const std::size_t commits =
+      static_cast<std::size_t>(kSweepSteps / kSweepCkpt);
+  const std::size_t expected_buddy =
+      commits * static_cast<std::size_t>(kSweepWorkers);
+  const bool buddy_pinned = ref.report.stats.buddy_msgs == expected_buddy;
+  std::printf("fault-free %d-rank wave: %zu commits x %d ranks -> %zu buddy"
+              " messages (measured %zu) %s\n\n",
+              kSweepWorkers, commits, kSweepWorkers, expected_buddy,
+              ref.report.stats.buddy_msgs, buddy_pinned ? "ok" : "MISMATCH");
+  bench.metrics().set("failover.buddy.expected", double(expected_buddy));
+  bench.metrics().set("failover.buddy.measured",
+                      double(ref.report.stats.buddy_msgs));
+
+  // --- MTBF sweep --------------------------------------------------------
+  // One seeded kill schedule per MTBF; the same faults hit all three
+  // strategies (kMaxOps keeps the victim set schedule-independent).
+  core::Table ts({"MTBF ops", "strategy", "kills", "replayed", "lost ms",
+                  "repair ms", "buddy msgs", "timeline ms", "bitwise"});
+  ts.row({"inf", "(fault-free)", "0", "0", "0", "0",
+          std::to_string(ref.report.stats.buddy_msgs),
+          core::Table::num(ref.modeled.timeline_s * 1e3, 3), "yes"});
+
+  struct Leg {
+    const char* name;
+    phoenix::RepairPolicy policy;
+    int spares;
+    int ckpt_every;
+  };
+  // "abort-restart": no generation ever commits, so recovery replays the
+  // run from step 0 on a fresh full-size world — classic global restart,
+  // priced through the same machinery.
+  const Leg legs[] = {
+      {"abort-restart", phoenix::RepairPolicy::Spare, 4, 1000000},
+      {"shrink", phoenix::RepairPolicy::Shrink, 0, kSweepCkpt},
+      {"spare", phoenix::RepairPolicy::Spare, 4, kSweepCkpt},
+  };
+
+  bool sweep_bitwise = true;
+  bool kills_agree = true;
+  for (const double mean_ops : {600.0, 200.0, 80.0}) {
+    std::size_t kills_seen = 0;
+    bool first_leg = true;
+    for (const Leg& leg : legs) {
+      net::NetLog log;
+      auto cfg = sweep_cfg(leg.policy, leg.spares, leg.ckpt_every);
+      cfg.cluster = &wire8;
+      cfg.log = &log;
+      cfg.fault_hook = edge_triggered(
+          resil::make_rank_fault_hook(kSweepWorkers, mean_ops, kSeed,
+                                      kMaxOps),
+          kSweepWorkers);
+      const auto res = stencil::survivable_wave_run(cfg, u0);
+      const auto& st = res.report.stats;
+      const bool bitwise = res.field == ref.field;
+      sweep_bitwise = sweep_bitwise && bitwise;
+      if (first_leg) {
+        kills_seen = st.kills;
+        first_leg = false;
+      } else {
+        kills_agree = kills_agree && st.kills == kills_seen;
+      }
+      ts.row({core::Table::num(mean_ops, 0), leg.name,
+              std::to_string(st.kills), std::to_string(st.replayed_steps),
+              core::Table::num(st.lost_work_s * 1e3, 3),
+              core::Table::num(st.repair_s * 1e3, 3),
+              std::to_string(st.buddy_msgs),
+              core::Table::num(res.modeled.timeline_s * 1e3, 3),
+              bitwise ? "yes" : "NO"});
+      const std::string pre = "failover.mtbf" +
+                              std::to_string(int(mean_ops)) + "." +
+                              leg.name + ".";
+      bench.metrics().set(pre + "kills", double(st.kills));
+      bench.metrics().set(pre + "replayed_steps", double(st.replayed_steps));
+      bench.metrics().set(pre + "lost_work_s", st.lost_work_s);
+      bench.metrics().set(pre + "timeline_s", res.modeled.timeline_s);
+    }
+  }
+  ts.print();
+  std::printf("\nevery leg replays to the fault-free bits: %s; the same"
+              " seeded schedule kills the same ranks under every strategy:"
+              " %s.\nabort-restart pays full-run replay per fault and"
+              " saves the buddy traffic; the checkpointed strategies pay"
+              " %zu replication messages to bound rollback at %d steps.\n\n",
+              sweep_bitwise ? "yes" : "NO", kills_agree ? "yes" : "NO",
+              expected_buddy, kSweepCkpt);
+
+  // --- 64-rank acceptance leg -------------------------------------------
+  const int ranks = 64;
+  const auto wire64 = hsim::clusters::ethernet(ranks);
+  stencil::SurvivableWaveConfig cfg64;
+  cfg64.nx = 512;
+  cfg64.ny = 16;
+  cfg64.nz = 16;
+  cfg64.steps = 8;  // driver runs 9; commits at steps 3 and 6
+  cfg64.workers = ranks;
+  cfg64.ckpt_every = 3;
+  cfg64.mpi.timeout_seconds = 10.0;
+  cfg64.mpi.max_retries = 1;
+
+  std::printf("=== Survivable wave, %d ranks, %zux%zux%zu, %d steps on"
+              " %s ===\n\n",
+              ranks, cfg64.nx, cfg64.ny, cfg64.nz, cfg64.steps,
+              wire64.name.c_str());
+
+  net::NetLog log_ff;
+  auto cfg_ff = cfg64;
+  cfg_ff.cluster = &wire64;
+  cfg_ff.log = &log_ff;
+  const auto ref64 = stencil::survivable_wave_run(cfg_ff, u0);
+  const std::size_t expected_buddy64 = 2u * static_cast<std::size_t>(ranks);
+  const bool buddy64_pinned =
+      ref64.report.stats.buddy_msgs == expected_buddy64;
+
+  // Rank 37 dies at its 20th op: the first halo send of step 4, after the
+  // generation at step 3 committed — a mid-run kill in steady state.
+  core::Table t64({"leg", "kills", "messages", "timeline ms", "repair ms",
+                   "bitwise"});
+  t64.row({"fault-free", "0", std::to_string(ref64.modeled.messages),
+           core::Table::num(ref64.modeled.timeline_s * 1e3, 3), "0", "yes"});
+
+  net::NetLog log_sp;
+  auto cfg_sp = cfg64;
+  cfg_sp.spares = 1;
+  cfg_sp.policy = phoenix::RepairPolicy::Spare;
+  cfg_sp.cluster = &wire64;
+  cfg_sp.log = &log_sp;
+  cfg_sp.metrics = &bench.metrics();
+  cfg_sp.trace_ranks = true;
+  cfg_sp.fault_hook = phoenix::kill_rank_at(37, 20);
+  const auto spare64 = stencil::survivable_wave_run(cfg_sp, u0);
+  const bool spare_bitwise = spare64.field == ref64.field;
+  t64.row({"spare", std::to_string(spare64.report.stats.kills),
+           std::to_string(spare64.modeled.messages),
+           core::Table::num(spare64.modeled.timeline_s * 1e3, 3),
+           core::Table::num(spare64.report.stats.repair_s * 1e3, 3),
+           spare_bitwise ? "yes" : "NO"});
+
+  net::NetLog log_sh;
+  auto cfg_sh = cfg64;
+  cfg_sh.policy = phoenix::RepairPolicy::Shrink;
+  cfg_sh.cluster = &wire64;
+  cfg_sh.log = &log_sh;
+  cfg_sh.fault_hook = phoenix::kill_rank_at(37, 20);
+  const auto shrink64 = stencil::survivable_wave_run(cfg_sh, u0);
+  const bool shrink_bitwise = shrink64.field == ref64.field;
+  t64.row({"shrink", std::to_string(shrink64.report.stats.kills),
+           std::to_string(shrink64.modeled.messages),
+           core::Table::num(shrink64.modeled.timeline_s * 1e3, 3),
+           core::Table::num(shrink64.report.stats.repair_s * 1e3, 3),
+           shrink_bitwise ? "yes" : "NO"});
+  t64.print();
+
+  // Recovery traffic (buddy re-replication, bootstrap ships, drains) adds
+  // real messages to the replay timeline under both policies.
+  const bool traffic_visible =
+      spare64.modeled.messages > ref64.modeled.messages &&
+      shrink64.modeled.messages > ref64.modeled.messages;
+
+  // The merged cluster view of the spare leg: well-formed replay, tiled
+  // distributed critical path, and the recovery epoch on that path
+  // (post-repair traffic carries epoch-salted tags >= 0x10000).
+  xray::MergeInputs in;
+  in.log = &log_sp;
+  in.cluster = &wire64;
+  in.ranks = ranks;
+  in.rank_traces = &spare64.report.rank_traces;
+  const auto rep = xray::analyze(in);
+  bool salted_on_path = false;
+  for (const auto& step : rep.critical_path) {
+    if (rep.replay.events[step.event].ev.tag >= 0x10000) {
+      salted_on_path = true;
+      break;
+    }
+  }
+  bool repair_span = false;
+  for (const auto& tb : spare64.report.rank_traces) {
+    for (const auto& e : tb.snapshot()) {
+      if (e.phase == "phoenix/repair") repair_span = true;
+    }
+  }
+  const double tol = 1e-9 * std::max(1.0, rep.makespan_s);
+  const bool path_tiles =
+      rep.well_formed && std::abs(rep.critical_s - rep.makespan_s) <= tol;
+
+  std::printf("\nspare-leg xray: replay %s, critical path %s the makespan"
+              " (|%.3g s|), recovery epoch %s the critical path,"
+              " phoenix/repair span %s in the rank traces\n",
+              rep.well_formed ? "well-formed" : "NOT WELL-FORMED",
+              path_tiles ? "tiles" : "DOES NOT tile",
+              rep.critical_s - rep.makespan_s,
+              salted_on_path ? "on" : "MISSING from",
+              repair_span ? "present" : "MISSING");
+  std::printf("64-rank verdict: both policies bitwise %s, recovery traffic"
+              " %s in the replay (%zu/%zu msgs vs %zu fault-free), buddy"
+              " pin %s (%zu == 2x%d)\n",
+              spare_bitwise && shrink_bitwise ? "identical" : "DIFFER",
+              traffic_visible ? "visible" : "NOT VISIBLE",
+              spare64.modeled.messages, shrink64.modeled.messages,
+              ref64.modeled.messages, buddy64_pinned ? "holds" : "FAILS",
+              ref64.report.stats.buddy_msgs, ranks);
+
+  bench.metrics().set("failover.w64.ref.timeline_s",
+                      ref64.modeled.timeline_s);
+  bench.metrics().set("failover.w64.spare.timeline_s",
+                      spare64.modeled.timeline_s);
+  bench.metrics().set("failover.w64.shrink.timeline_s",
+                      shrink64.modeled.timeline_s);
+  bench.metrics().set("failover.w64.ref.messages",
+                      double(ref64.modeled.messages));
+  bench.metrics().set("failover.w64.spare.messages",
+                      double(spare64.modeled.messages));
+  bench.metrics().set("failover.w64.shrink.messages",
+                      double(shrink64.modeled.messages));
+  bench.metrics().set("failover.w64.bitwise",
+                      spare_bitwise && shrink_bitwise ? 1.0 : 0.0);
+  xray::publish(rep, bench.metrics());
+  bench.add_machine("wave64_faultfree_timeline", ref64.modeled.timeline_s);
+  bench.add_machine("wave64_spare_recovery_timeline",
+                    spare64.modeled.timeline_s);
+  bench.add_machine("wave64_shrink_recovery_timeline",
+                    shrink64.modeled.timeline_s);
+  if (bench.json_enabled() &&
+      !xray::write_artifacts(bench.out_dir(), "ablation_failover", rep,
+                             &spare64.report.rank_traces)) {
+    std::fprintf(stderr,
+                 "ablation_failover: failed to write XRAY artifacts\n");
+  }
+
+  const bool ok = buddy_pinned && sweep_bitwise && kills_agree &&
+                  buddy64_pinned && spare_bitwise && shrink_bitwise &&
+                  traffic_visible && rep.well_formed && path_tiles &&
+                  salted_on_path && repair_span &&
+                  spare64.report.stats.kills == 1 &&
+                  shrink64.report.stats.kills == 1;
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,38 @@
+#include "phoenix/failure.hpp"
+
+#include <map>
+#include <memory>
+
+#include "core/rng.hpp"
+
+namespace coe::phoenix {
+
+std::function<bool(int, std::size_t)> kill_rank_at(int rank,
+                                                   std::size_t at_op) {
+  return [rank, at_op](int r, std::size_t ops) {
+    return at_op != 0 && r == rank && ops == at_op;
+  };
+}
+
+std::function<bool(int, std::size_t)> seeded_kills(int ranks, int kills,
+                                                   std::uint64_t seed,
+                                                   std::size_t lo_op,
+                                                   std::size_t hi_op) {
+  auto schedule = std::make_shared<std::map<int, std::size_t>>();
+  core::Rng rng(seed);
+  const auto nr = static_cast<std::uint64_t>(ranks);
+  while (static_cast<int>(schedule->size()) < kills &&
+         static_cast<int>(schedule->size()) < ranks) {
+    const int victim = static_cast<int>(rng.uniform_int(nr));
+    if (schedule->count(victim)) continue;
+    const std::size_t span = hi_op > lo_op ? hi_op - lo_op + 1 : 1;
+    (*schedule)[victim] =
+        lo_op + static_cast<std::size_t>(rng.uniform_int(span));
+  }
+  return [schedule](int r, std::size_t ops) {
+    auto it = schedule->find(r);
+    return it != schedule->end() && ops == it->second;
+  };
+}
+
+}  // namespace coe::phoenix

@@ -1,0 +1,35 @@
+#pragma once
+// Rank-kill injectors for survivable-run experiments (DESIGN.md §17).
+// These complement resil::make_rank_fault_hook (PR 1's MTBF-driven
+// op-count faults): instead of an exponential clock, they place a kill on
+// a chosen victim at a chosen operation index, so recovery tests can sweep
+// a death across every phase of a protocol deterministically.
+//
+// All injectors return a RunOptions::fault_hook — called concurrently from
+// every rank thread with (rank, ops completed by that rank) — and are
+// immutable after construction, so they are trivially thread-safe. A hook
+// fires when the victim's op count *equals* the kill point: the count is
+// monotonic per rank id, so a spare that adopts the victim's id (and
+// continues its op count past the kill point) is not re-killed.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace coe::phoenix {
+
+/// Kills `rank` at exactly its `at_op`-th communicator operation.
+/// at_op == 0 never fires (op counts start at 1).
+std::function<bool(int, std::size_t)> kill_rank_at(int rank,
+                                                   std::size_t at_op);
+
+/// Seeded multi-kill schedule: picks `kills` distinct victims out of
+/// [0, ranks) and, for each, an op index uniform in [lo_op, hi_op],
+/// deterministically from `seed`. Victims whose schedule lands past their
+/// actual op count simply survive.
+std::function<bool(int, std::size_t)> seeded_kills(int ranks, int kills,
+                                                   std::uint64_t seed,
+                                                   std::size_t lo_op,
+                                                   std::size_t hi_op);
+
+}  // namespace coe::phoenix

@@ -186,6 +186,13 @@ ResilienceReport run_resilient(Checkpointable& app, core::ExecContext& ctx,
                      static_cast<double>(rep.steps_replayed));
     cfg.metrics->add("resil.wasted_s", rep.wasted_time);
     cfg.metrics->add("resil.checkpoint_s", rep.checkpoint_time);
+    // Store integrity counters: generations refused on CRC mismatch and
+    // the subset of restores the double-buffered fallback then served.
+    const CheckpointStats& cst = store->stats();
+    cfg.metrics->add("resil.refused_generations",
+                     static_cast<double>(cst.crc_failures));
+    cfg.metrics->add("resil.crc_fallbacks",
+                     static_cast<double>(cst.fallbacks));
     if (cfg.verify_hook) {
       cfg.metrics->add("resil.verifications",
                        static_cast<double>(rep.verifications));

@@ -1,0 +1,61 @@
+#pragma once
+// Survivable distributed wave (DESIGN.md §17): the distributed.cpp
+// 4th-order kernel re-hosted on phoenix::run_survivable. Each logical part
+// owns one x-slab; slabs exchange the two ghost-deep halo planes per
+// direction as one aggregated part-addressed message per neighbor per step
+// and carry (u, u_prev) as their checkpoint blob. Every point performs
+// arithmetic identical to distributed_wave_run — the same Taylor backstep,
+// leapfrog update, and odd-reflection walls in the same order — so the
+// fault-free survivable field matches the distributed one bitwise, and a
+// run that rides through a rank kill (restore + replay) matches its own
+// fault-free reference bitwise: the acceptance gate of ISSUE 10.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "core/machine.hpp"
+#include "net/reprice.hpp"
+#include "phoenix/driver.hpp"
+
+namespace coe::stencil {
+
+struct SurvivableWaveConfig {
+  std::size_t nx = 32;  ///< global interior points (x divisible by workers)
+  std::size_t ny = 8;
+  std::size_t nz = 8;
+  double length = 1.0;
+  double c = 1.0;
+  int steps = 8;  ///< leapfrog steps (the driver adds the Taylor backstep)
+  double dt_factor = 0.5;
+
+  int workers = 4;
+  int spares = 0;
+  phoenix::RepairPolicy policy = phoenix::RepairPolicy::Shrink;
+  /// Checkpoint cadence in driver steps (step 0 is the backstep).
+  int ckpt_every = 4;
+
+  hsim::MachineModel node = hsim::machines::host();
+  /// Replays the logged traffic against this interconnect (not owned).
+  const hsim::ClusterModel* cluster = nullptr;
+  net::NetLog* log = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+  bool trace_ranks = false;
+  std::function<bool(int, std::size_t)> fault_hook;
+  mpi::RunOptions mpi;
+};
+
+struct SurvivableWaveResult {
+  std::vector<double> field;  ///< global interior field, x-major
+  double dt = 0.0;
+  phoenix::SurvivableReport report;
+  net::RepriceResult modeled;  ///< populated when cfg.cluster is set
+};
+
+/// Runs cfg.workers parts (+ cfg.spares parked spares) under the phoenix
+/// driver; survives injected rank kills per cfg.policy.
+SurvivableWaveResult survivable_wave_run(
+    const SurvivableWaveConfig& cfg,
+    const std::function<double(double, double, double)>& u0);
+
+}  // namespace coe::stencil

@@ -165,6 +165,110 @@ void check_net_metrics(const Json& metrics) {
   }
 }
 
+/// The resil.* metrics family (PR 1 + the store-integrity counters): fixed
+/// flat schema, every value a non-negative number. The integrity invariant
+/// is directional: a fallback restore can only happen after a generation
+/// was refused, so crc_fallbacks can never exceed refused_generations.
+void check_resil_metrics(const Json& metrics) {
+  static const std::vector<std::string> known = {
+      "resil.faults",          "resil.checkpoints",
+      "resil.checkpoint_bytes", "resil.steps_replayed",
+      "resil.wasted_s",        "resil.checkpoint_s",
+      "resil.verifications",   "resil.detections",
+      "resil.rollbacks",       "resil.escapes",
+      "resil.checkpoint_aborts", "resil.verify_s",
+      "resil.refused_generations", "resil.crc_fallbacks"};
+  for (const char* section : {"counters", "gauges"}) {
+    if (!metrics.contains(section) ||
+        metrics.at(section).type() != Json::Type::Object) {
+      continue;
+    }
+    double refused = -1.0, fallbacks = -1.0;
+    for (const auto& [key, v] : metrics.at(section).fields()) {
+      if (key.rfind("resil.", 0) != 0) continue;
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        fail("metrics." + std::string(section) +
+             " has unknown resil.* key \"" + key + "\"");
+        continue;
+      }
+      if (v.type() != Json::Type::Number) {
+        fail("metrics." + std::string(section) + "." + key +
+             " is not a number");
+        continue;
+      }
+      const double x = v.as_number();
+      if (x < 0.0) fail(key + " is negative");
+      if (key == "resil.refused_generations") refused = x;
+      if (key == "resil.crc_fallbacks") fallbacks = x;
+    }
+    if (fallbacks >= 0.0 && fallbacks > std::max(refused, 0.0)) {
+      fail("resil.crc_fallbacks exceeds resil.refused_generations");
+    }
+  }
+}
+
+/// The phoenix.* metrics family (DESIGN.md §17): fixed flat schema plus
+/// the recovery invariants — a repair needs a detection, an adoption or
+/// retirement needs a repair, buddy/bootstrap message and byte counters
+/// must agree about whether traffic happened.
+void check_phoenix_metrics(const Json& metrics) {
+  static const std::vector<std::string> known = {
+      "phoenix.kills",          "phoenix.detections",
+      "phoenix.repairs",        "phoenix.adoptions",
+      "phoenix.retirements",    "phoenix.ckpt_commits",
+      "phoenix.ckpt_aborts",    "phoenix.restores",
+      "phoenix.crc_fallbacks",  "phoenix.replayed_steps",
+      "phoenix.buddy_msgs",     "phoenix.buddy_bytes",
+      "phoenix.shipped_msgs",   "phoenix.shipped_bytes",
+      "phoenix.repair_s",       "phoenix.lost_work_s"};
+  for (const char* section : {"counters", "gauges"}) {
+    if (!metrics.contains(section) ||
+        metrics.at(section).type() != Json::Type::Object) {
+      continue;
+    }
+    std::map<std::string, double> got;
+    for (const auto& [key, v] : metrics.at(section).fields()) {
+      if (key.rfind("phoenix.", 0) != 0) continue;
+      if (std::find(known.begin(), known.end(), key) == known.end()) {
+        fail("metrics." + std::string(section) +
+             " has unknown phoenix.* key \"" + key + "\"");
+        continue;
+      }
+      if (v.type() != Json::Type::Number) {
+        fail("metrics." + std::string(section) + "." + key +
+             " is not a number");
+        continue;
+      }
+      const double x = v.as_number();
+      if (x < 0.0) fail(key + " is negative");
+      got[key] = x;
+    }
+    auto val = [&got](const char* k) {
+      auto it = got.find(k);
+      return it == got.end() ? -1.0 : it->second;
+    };
+    const double repairs = val("phoenix.repairs");
+    const double detections = val("phoenix.detections");
+    if (repairs > 0.0 && detections == 0.0) {
+      fail("phoenix.repairs > 0 with phoenix.detections == 0");
+    }
+    const double changes = std::max(val("phoenix.adoptions"), 0.0) +
+                           std::max(val("phoenix.retirements"), 0.0);
+    if (changes > 0.0 && repairs == 0.0) {
+      fail("phoenix membership changed with phoenix.repairs == 0");
+    }
+    for (const char* pair : {"buddy", "shipped"}) {
+      const double msgs = val(("phoenix." + std::string(pair) + "_msgs").c_str());
+      const double bytes =
+          val(("phoenix." + std::string(pair) + "_bytes").c_str());
+      if (msgs >= 0.0 && bytes >= 0.0 && (msgs > 0.0) != (bytes > 0.0)) {
+        fail("phoenix." + std::string(pair) +
+             " message and byte counters disagree about traffic");
+      }
+    }
+  }
+}
+
 /// One five-way blame entry (a per-rank row or the fleet mean): the five
 /// pct values must exist and, when the entry has any time, sum to 100.
 void check_blame_entry(const Json& b, const std::string& where) {
@@ -650,6 +754,8 @@ bool validate(const std::string& path) {
     check_metrics_section(metrics, "histograms");
     check_mem_metrics(metrics);
     check_net_metrics(metrics);
+    check_resil_metrics(metrics);
+    check_phoenix_metrics(metrics);
     check_xray_metrics(metrics);
   }
 
